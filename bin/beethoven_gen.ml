@@ -1,0 +1,130 @@
+(* beethoven_gen — elaborate a bundled accelerator configuration for a
+   target platform and emit the generated artifacts (summary, Table-II
+   style resource report, floorplan constraints, C++ bindings, Verilog
+   for RTL-DSL kernels, ASIC SRAM plans).
+
+     dune exec bin/beethoven_gen.exe -- --design a3 --platform f1 --emit all
+*)
+
+open Cmdliner
+
+let designs =
+  [
+    ("vecadd", fun n -> Kernels.Vecadd.config ~n_cores:n ());
+    ("memcpy", fun _ -> Kernels.Memcpy.config Kernels.Memcpy.Beethoven);
+    ("a3", fun n -> Attention.Accel.config ~n_cores:n ());
+    ("a3-rtl", fun n -> Attention.A3_rtl_core.config ~n_cores:n ());
+    ("vecadd-rtl", fun n -> Kernels.Vecadd_rtl.config ~n_cores:n ());
+    ("nw", fun n -> Kernels.Machsuite.(config Nw ~n_cores:n));
+    ("gemm", fun n -> Kernels.Machsuite.(config Gemm ~n_cores:n));
+    ("stencil2d", fun n -> Kernels.Machsuite.(config Stencil2d ~n_cores:n));
+    ("stencil3d", fun n -> Kernels.Machsuite.(config Stencil3d ~n_cores:n));
+    ("mdknn", fun n -> Kernels.Machsuite.(config Md_knn ~n_cores:n));
+  ]
+
+let platforms =
+  [
+    ("f1", Platform.Device.aws_f1);
+    ("kria", Platform.Device.kria);
+    ("asap7", Platform.Device.asap7);
+    ("chipkit", Platform.Device.chipkit);
+    ("saed32", Platform.Device.saed32);
+    ("sim", Platform.Device.sim);
+  ]
+
+let emits = [ "summary"; "resources"; "constraints"; "cpp"; "verilog"; "sram"; "all" ]
+
+let run design platform n_cores emit out_dir =
+  let config_of =
+    match List.assoc_opt design designs with
+    | Some f -> f
+    | None ->
+        Printf.eprintf "unknown design %S (available: %s)\n" design
+          (String.concat ", " (List.map fst designs));
+        exit 2
+  in
+  let plat =
+    match List.assoc_opt platform platforms with
+    | Some p -> p
+    | None ->
+        Printf.eprintf "unknown platform %S (available: %s)\n" platform
+          (String.concat ", " (List.map fst platforms));
+        exit 2
+  in
+  let config = config_of n_cores in
+  let d =
+    try Beethoven.Elaborate.elaborate config plat
+    with Failure msg ->
+      Printf.eprintf "elaboration failed: %s\n" msg;
+      exit 1
+  in
+  let wants what = emit = "all" || emit = what in
+  let output name content =
+    match out_dir with
+    | None ->
+        Printf.printf "--- %s ---\n%s\n" name content
+    | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let path = Filename.concat dir name in
+        let oc = open_out path in
+        output_string oc content;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+  in
+  if wants "summary" then output "summary.txt" (Beethoven.Elaborate.summary d);
+  if wants "resources" then
+    output "resources.txt" (Beethoven.Elaborate.resource_table d);
+  if wants "constraints" then
+    output "constraints.xdc" (Beethoven.Elaborate.constraints d);
+  if wants "cpp" then begin
+    output
+      (config.Beethoven.Config.acc_name ^ "_bindings.h")
+      (Beethoven.Elaborate.cpp_header d);
+    output
+      (config.Beethoven.Config.acc_name ^ "_bindings.cc")
+      (Beethoven.Elaborate.cpp_stubs d)
+  end;
+  if wants "verilog" then begin
+    List.iter
+      (fun (sys, v) -> output (sys ^ "_core.v") v)
+      (Beethoven.Elaborate.verilog d);
+    output "beethoven_top.v" (Beethoven.Top_verilog.generate d)
+  end;
+  if wants "sram" then begin
+    match d.Beethoven.Elaborate.sram_plans with
+    | [] -> if emit = "sram" then print_endline "(no ASIC SRAM plans: FPGA platform)"
+    | plans ->
+        output "sram_plan.txt"
+          (String.concat "\n"
+             (List.map
+                (fun (n, p) ->
+                  Printf.sprintf "%s: %s" n (Platform.Sram.describe p))
+                plans))
+  end
+
+let design_arg =
+  let doc = "Bundled design to elaborate: " ^ String.concat ", " (List.map fst designs) in
+  Arg.(value & opt string "vecadd" & info [ "design"; "d" ] ~docv:"NAME" ~doc)
+
+let platform_arg =
+  let doc = "Target platform: " ^ String.concat ", " (List.map fst platforms) in
+  Arg.(value & opt string "f1" & info [ "platform"; "p" ] ~docv:"NAME" ~doc)
+
+let cores_arg =
+  let doc = "Number of accelerator cores per system." in
+  Arg.(value & opt int 1 & info [ "cores"; "n" ] ~docv:"N" ~doc)
+
+let emit_arg =
+  let doc = "Artifact to emit: " ^ String.concat ", " emits in
+  Arg.(value & opt string "summary" & info [ "emit"; "e" ] ~docv:"WHAT" ~doc)
+
+let out_arg =
+  let doc = "Write artifacts into this directory instead of stdout." in
+  Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"DIR" ~doc)
+
+let cmd =
+  let doc = "compose a Beethoven accelerator system and emit its artifacts" in
+  let info = Cmd.info "beethoven_gen" ~version:"1.0" ~doc in
+  Cmd.v info Term.(const run $ design_arg $ platform_arg $ cores_arg $ emit_arg $ out_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,44 @@
+(* The §III-C case study: the A3 approximate-attention accelerator at
+   BERT geometry, composed into a multi-core FPGA design.
+
+     dune exec examples/attention_demo.exe [n_cores] *)
+
+let () =
+  let platform = Platform.Device.aws_f1 in
+  let n_cores =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1)
+    else Attention.Accel.auto_cores platform
+  in
+  Printf.printf "A3 attention: %d cores on %s\n" n_cores
+    platform.Platform.Device.name;
+  let design =
+    Beethoven.Elaborate.elaborate (Attention.Accel.config ~n_cores ()) platform
+  in
+  print_string (Beethoven.Elaborate.summary design);
+  print_newline ();
+  print_string (Beethoven.Elaborate.resource_table design);
+
+  let r =
+    Attention.Accel.run ~n_queries_per_core:200 ~n_cores ~platform ()
+  in
+  Printf.printf
+    "\n%d queries: %.2f M attention ops/s, outputs %s, max quantization \
+     error %.4f\n"
+    r.Attention.Accel.n_queries
+    (r.Attention.Accel.throughput_ops /. 1e6)
+    (if r.Attention.Accel.verified then "bit-exact vs functional model"
+     else "MISMATCHED")
+    r.Attention.Accel.max_error;
+
+  (* the same configuration retargets to an ASIC flow: the composer
+     compiles the scratchpads onto SRAM macros instead *)
+  print_endline "\nRetargeted to the ASAP7 ASIC platform:";
+  let asic =
+    Beethoven.Elaborate.elaborate
+      (Attention.Accel.config ~n_cores:1 ())
+      Platform.Device.asap7
+  in
+  List.iter
+    (fun (name, plan) ->
+      Printf.printf "  %s -> %s\n" name (Platform.Sram.describe plan))
+    asic.Beethoven.Elaborate.sram_plans

@@ -1,0 +1,42 @@
+(* Needleman-Wunsch, the Fig. 6 kernel where Beethoven wins the most: its
+   loop-carried dependence defeats HLS/Spatial unrolling pragmas, while a
+   low-effort 1-cell-per-cycle core scales linearly with core count.
+
+     dune exec examples/machsuite_nw.exe [n_cores] *)
+
+module MS = Kernels.Machsuite
+
+let () =
+  let platform =
+    {
+      Platform.Device.aws_f1 with
+      Platform.Device.fabric_clock_ps = 8000;
+      noc = Noc.Params.default ~clock_ps:8000;
+    }
+  in
+  let max_cores = MS.auto_cores MS.Nw platform in
+  let n_cores =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1)
+    else max_cores
+  in
+  Printf.printf
+    "NW (N=%d) at 125 MHz; floorplanner fits up to %d cores; running %d\n\n"
+    (MS.data_size MS.Nw) max_cores n_cores;
+  let hls = MS.hls_ops_per_sec MS.Nw in
+  Printf.printf "%-24s %12s %10s\n" "" "alignments/s" "vs HLS";
+  Printf.printf "%-24s %12.0f %9.2fx\n" "Vitis HLS (model)" hls 1.0;
+  Printf.printf "%-24s %12.0f %9.2fx\n" "Spatial (model)"
+    (MS.spatial_ops_per_sec MS.Nw)
+    (MS.spatial_ops_per_sec MS.Nw /. hls);
+  List.iter
+    (fun cores ->
+      if cores <= max_cores then begin
+        let r = MS.run MS.Nw ~rounds:2 ~n_cores:cores ~platform () in
+        Printf.printf "%-24s %12.0f %9.2fx  (%s)\n"
+          (Printf.sprintf "Beethoven, %d core%s" cores
+             (if cores = 1 then "" else "s"))
+          r.MS.measured_ops_per_sec
+          (r.MS.measured_ops_per_sec /. hls)
+          (if r.MS.verified then "verified" else "WRONG OUTPUT")
+      end)
+    (List.sort_uniq compare [ 1; 4; 16; n_cores ])

@@ -1,0 +1,118 @@
+let lanes = 64
+let dot_width = 24
+
+let circuit () =
+  let open Hw.Signal in
+  let load_q = input "load_q" 1 in
+  let q_row = input "q_row" (8 * lanes) in
+  let key_valid = input "key_valid" 1 in
+  let key_row = input "key_row" (8 * lanes) in
+  let clear = input "clear" 1 in
+  let q_reg = reg ~enable:load_q q_row in
+  let lane i v = select v ~hi:((8 * i) + 7) ~lo:(8 * i) in
+  (* signed int8 x int8: multiply the sign-extended 16-bit operands; the
+     low 16 bits are the two's-complement product *)
+  let products =
+    List.init lanes (fun i ->
+        sext (mul (sext (lane i q_reg) 16) (sext (lane i key_row) 16))
+          dot_width)
+  in
+  (* balanced adder tree: log2(64) = 6 levels *)
+  let rec tree = function
+    | [] -> invalid_arg "empty tree"
+    | [ x ] -> x
+    | xs ->
+        let rec pair = function
+          | a :: b :: rest -> add a b :: pair rest
+          | [ a ] -> [ a ]
+          | [] -> []
+        in
+        tree (pair xs)
+  in
+  let score = tree products in
+  (* pipeline register on the score (stage-1 output into the FIFO) *)
+  let score_r = reg ~enable:key_valid score -- "score_r" in
+  let score_valid = reg key_valid in
+  (* running max over the signed scores: compare with the sign bit
+     flipped, which orders two's-complement values correctly *)
+  let flip x = x ^: sll (of_int ~width:dot_width 1) (dot_width - 1) in
+  let neg_inf = sll (of_int ~width:dot_width 1) (dot_width - 1) in
+  let max_reg = wire dot_width in
+  let bigger = flip score_r >: flip max_reg in
+  let next_max =
+    mux2 clear neg_inf
+      (mux2 (score_valid &: bigger) score_r max_reg)
+  in
+  assign max_reg (reg ~init:(Bits.shift_left (Bits.one dot_width) (dot_width - 1)) next_max);
+  Hw.Circuit.create ~name:"a3_stage1"
+    ~outputs:
+      [
+        ("score_valid", score_valid);
+        ("score", score_r);
+        ("max_score", max_reg);
+      ]
+
+let pack_row values =
+  if Array.length values <> lanes then invalid_arg "A3_rtl.pack_row: 64 lanes";
+  Bits.concat_list
+    (List.init lanes (fun i ->
+         Bits.of_signed_int ~width:8 values.(lanes - 1 - i)))
+
+let dot_reference q k =
+  let acc = ref 0 in
+  for i = 0 to lanes - 1 do
+    acc := !acc + (q.(i) * k.(i))
+  done;
+  !acc
+
+(* Stage 2: softmax weights through the exp LUT, plus the running weight
+   sum (the algorithm's second global reduction). *)
+let stage2_circuit () =
+  let open Hw.Signal in
+  let score_valid = input "score_valid" 1 in
+  let score = input "score" dot_width in
+  let max_score = input "max_score" dot_width in
+  let clear = input "clear" 1 in
+  (* index = round((max - score) / 16), clamped to the table *)
+  let diff = sub max_score score in
+  let idx_wide = srl (add diff (of_int ~width:dot_width 8)) 4 in
+  let over = idx_wide >=: of_int ~width:dot_width 256 in
+  let idx = select idx_wide ~hi:7 ~lo:0 in
+  (* the 256-entry ROM as constant logic, bit-exact with A3.exp_lut *)
+  let rom =
+    mux idx (List.init 256 (fun i -> of_int ~width:16 A3.exp_lut.(i)))
+  in
+  let weight_now = mux2 over (zero 16) rom in
+  let weight = reg ~enable:score_valid weight_now -- "weight_r" in
+  let weight_valid = reg score_valid in
+  let wsum = wire dot_width in
+  assign wsum
+    (reg
+       (mux2 clear (zero dot_width)
+          (mux2 score_valid (add wsum (uresize weight_now dot_width)) wsum)));
+  Hw.Circuit.create ~name:"a3_stage2"
+    ~outputs:
+      [ ("weight_valid", weight_valid); ("weight", weight); ("wsum", wsum) ]
+
+(* Stage 3: 64 weighted-accumulate lanes over streamed value rows. *)
+let stage3_circuit () =
+  let open Hw.Signal in
+  let w_valid = input "w_valid" 1 in
+  let weight = input "weight" 16 in
+  let v_row = input "v_row" (8 * lanes) in
+  let clear = input "clear" 1 in
+  let sel = input "sel" 6 in
+  let lane_sig i v = select v ~hi:((8 * i) + 7) ~lo:(8 * i) in
+  let accs =
+    List.init lanes (fun i ->
+        let acc = wire 32 in
+        (* signed product: unsigned weight x signed int8, computed in
+           two's complement at 32 bits *)
+        let prod = mul (uresize weight 32) (sext (lane_sig i v_row) 32) in
+        assign acc
+          (reg
+             (mux2 clear (zero 32) (mux2 w_valid (add acc prod) acc)));
+        acc)
+  in
+  Hw.Circuit.create ~name:"a3_stage3"
+    ~outputs:[ ("acc", mux sel accs) ]

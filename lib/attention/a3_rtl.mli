@@ -1,0 +1,36 @@
+(** A³'s stage-1 datapath in real RTL: a 64-lane signed int8 dot-product
+    unit with the running-max reduction (the first global reduction of
+    Fig. 7), written in the {!Hw} DSL. One key row per cycle at full
+    width — the element the case study's throughput model rests on,
+    demonstrated here at netlist level.
+
+    Ports: input [load_q]:1 with [q_row]:512 latches the query; input
+    [key_valid]:1 with [key_row]:512 streams key rows; input [clear]:1
+    resets the running max. Outputs [score_valid]:1, [score]:24 (two's
+    complement), [max_score]:24. *)
+
+val dot_width : int (** score width, 24 bits: 64 * int8*int8 products *)
+
+val circuit : unit -> Hw.Circuit.t
+
+val stage2_circuit : unit -> Hw.Circuit.t
+(** Stage 2: the exp-LUT softmax unit. Inputs [score_valid]:1,
+    [score]:24, [max_score]:24, [clear]:1; outputs [weight_valid]:1,
+    [weight]:16 (Q1.15), [wsum]:24 (the second global reduction, a running
+    sum of the weights). The 256-entry LUT is elaborated as constant
+    ROM logic, bit-exact with {!A3.exp_lut}. *)
+
+val stage3_circuit : unit -> Hw.Circuit.t
+(** Stage 3: the weighted value reduction. Inputs [w_valid]:1,
+    [weight]:16, [v_row]:512, [clear]:1, [sel]:6; outputs [acc]:32 — the
+    selected lane's signed accumulator (sum of weight x value over the
+    rows streamed so far). Normalization by the weight total uses the
+    shared {!Hw.Divider}. *)
+
+(** Host-side helpers for driving the circuit in tests/benches. *)
+
+val pack_row : int array -> Bits.t
+(** 64 int8 values (lane 0 = least-significant byte) → 512-bit row. *)
+
+val dot_reference : int array -> int array -> int
+(** Signed reference for one row. *)

@@ -1,0 +1,40 @@
+(** The multi-core A³ accelerator composed with Beethoven — the design of
+    Fig. 7/8 and Tables II/III.
+
+    Each core holds stationary key and value matrices in Beethoven
+    Scratchpads (filled from device memory by a [load_kv] command),
+    streams query vectors through a Reader, runs the three-stage pipeline
+    at one key row per cycle, and writes outputs through a Writer. The
+    23-core F1 configuration reproduces the floorplan and utilization
+    behaviour the paper reports (SLR affinity, BRAM→URAM spill). *)
+
+val load_kv_command : Beethoven.Cmd_spec.command
+val attend_command : Beethoven.Cmd_spec.command
+
+val config : ?n_cores:int -> unit -> Beethoven.Config.t
+(** Default 23 cores, the paper's F1 design point. *)
+
+val behavior : Beethoven.Soc.behavior
+
+val auto_cores : Platform.Device.t -> int
+(** Largest configuration the floorplanner accepts (the paper's "23" on
+    the U200). *)
+
+type result = {
+  n_cores : int;
+  n_queries : int;
+  wall_ps : int;
+  throughput_ops : float;  (** attention ops (queries) per second *)
+  max_error : float;  (** worst per-query mean-abs-error vs float *)
+  verified : bool;  (** outputs bit-exact vs the functional A3 model *)
+}
+
+val run :
+  ?n_queries_per_core:int ->
+  ?n_cores:int ->
+  platform:Platform.Device.t ->
+  unit ->
+  result
+(** Load per-core K/V, stream a query batch through every core, verify
+    outputs against {!A3.attend_fixed} and accuracy against
+    {!A3.attend_float}. *)

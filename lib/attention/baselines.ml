@@ -1,0 +1,60 @@
+type row = {
+  label : string;
+  throughput_ops : float;
+  avg_power_w : float option;
+  energy_per_op_uj : float option;
+}
+
+let make label throughput power =
+  {
+    label;
+    throughput_ops = throughput;
+    avg_power_w = Some power;
+    energy_per_op_uj = Some (power /. throughput *. 1.0e6);
+  }
+
+(* i7-12700K: 8P+4E cores; one attention op = 320x64 dot products + softmax
+   + weighted sum ~ 2 * 2 * 320 * 64 FLOPs = 82k FLOPs. Effective FP32
+   throughput with AVX2 on this mixed workload ~ 7 GFLOP/s sustained
+   (memory-bound softmax, per-query batch-1 latency), giving the ~85 K
+   ops/s the paper measured at 75 W package power. *)
+let cpu = make "CPU (i7-12700K, FP32)" 84.8e3 75.0
+
+(* RTX 3090 at batch 1024x18, FP16 tensor cores: utilization limited by
+   the small per-head geometry (64x320); ~5 M ops/s at 320 W board
+   power. *)
+let gpu = make "GPU (RTX 3090, FP16)" 5.0e6 320.0
+
+(* The original publication's single-core ASIC at 1 GHz: one query per
+   ~340 cycles. Published as ideal throughput without a power figure. *)
+let asic_1core =
+  {
+    label = "1-core ASIC @ 1 GHz (A3 paper)";
+    throughput_ops = 1.0e9 /. float_of_int A3.issue_interval_cycles;
+    avg_power_w = None;
+    energy_per_op_uj = None;
+  }
+
+let fpga ~throughput_ops ~resources ~freq_mhz =
+  let power = Platform.Device.Power.fpga_watts resources ~freq_mhz in
+  {
+    label = "Beethoven (multi-core FPGA @ 250 MHz)";
+    throughput_ops;
+    avg_power_w = Some power;
+    energy_per_op_uj = Some (power /. throughput_ops *. 1.0e6);
+  }
+
+let table ~rows =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-38s %14s %12s %12s\n" "" "Thruput (op/s)" "E/op (uJ)"
+       "Power (W)");
+  List.iter
+    (fun r ->
+      let opt f = function None -> "-" | Some v -> Printf.sprintf f v in
+      Buffer.add_string buf
+        (Printf.sprintf "%-38s %14.3e %12s %12s\n" r.label r.throughput_ops
+           (opt "%.2f" r.energy_per_op_uj)
+           (opt "%.0f" r.avg_power_w)))
+    rows;
+  Buffer.contents buf

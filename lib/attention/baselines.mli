@@ -1,0 +1,25 @@
+(** CPU / GPU / 1-core-ASIC comparison points for Table III.
+
+    Roofline-style analytic models of the paper's baselines — an Intel
+    i7-12700K (FP32, 12 cores) and an NVIDIA RTX 3090 (FP16, batch
+    1024×18) — plus the original A³ single-core ASIC at 1 GHz. The FPGA
+    row is measured by {!Accel.run}; its power comes from the activity
+    model in {!Platform.Device.Power}. See DESIGN.md §4 for why analytic
+    envelopes substitute for the physical baselines. *)
+
+type row = {
+  label : string;
+  throughput_ops : float;  (** attention ops / second *)
+  avg_power_w : float option;  (** None where the paper reports none *)
+  energy_per_op_uj : float option;
+}
+
+val cpu : row
+val gpu : row
+val asic_1core : row
+
+val fpga : throughput_ops:float -> resources:Platform.Resources.t -> freq_mhz:float -> row
+(** Build the Beethoven row from a measured throughput and the elaborated
+    design's resource vector. *)
+
+val table : rows:row list -> string

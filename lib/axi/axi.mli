@@ -1,0 +1,89 @@
+(** AXI4 memory-port model.
+
+    Encodes the protocol behaviour the paper's §III-A microbenchmark turns
+    on: bursts are bounded in length and may not cross 4 KB; transactions
+    that share an AXI ID are serviced strictly in order (no overlap — the
+    conservative behaviour of the Xilinx DDR controller front-end the paper
+    measured), while transactions on distinct IDs proceed concurrently and
+    may complete out of order. A {!Trace} records the channel events used
+    to regenerate Fig. 5. *)
+
+module Params : sig
+  type t = {
+    data_bytes : int;  (** bytes per data beat (64 on the F1 shell) *)
+    max_burst_beats : int;  (** AXI4 limit: 256; DDR IP sweet spot: 64 *)
+    n_ids : int;  (** number of distinct AXI IDs available *)
+  }
+
+  val aws_f1 : t
+  (** 512-bit data bus, 64-beat max burst, 16 IDs. *)
+
+  val kria : t
+  (** 128-bit data bus on the Zynq MPSoC HP ports. *)
+end
+
+module Burst : sig
+  type segment = { addr : int; beats : int }
+
+  val boundary : int
+  (** AXI bursts may not cross this boundary (4096). *)
+
+  val split : params:Params.t -> addr:int -> bytes:int -> segment list
+  (** Decompose a transfer into legal AXI bursts: beat-aligned lengths of at
+      most [max_burst_beats], never crossing a 4 KB boundary. [bytes] must
+      be a multiple of [data_bytes] and [addr] beat-aligned. *)
+end
+
+module Trace : sig
+  type channel =
+    | AR  (** read address issue *)
+    | R of int  (** read data beat (index within burst) *)
+    | R_last
+    | AW  (** write address issue *)
+    | W of int  (** write data beat *)
+    | B  (** write response *)
+
+  type event = { time : int; id : int; channel : channel; addr : int }
+
+  type t
+
+  val create : unit -> t
+  val events : t -> event list (** in time order *)
+
+  val render : t -> time_scale:int -> string
+  (** ASCII timeline, one row per (direction, id), one column per
+      [time_scale] picoseconds — the Fig. 5 rendering. *)
+end
+
+type t
+
+val create :
+  ?trace:Trace.t -> Desim.Engine.t -> Dram.t -> Params.t -> t
+
+val params : t -> Params.t
+
+val read :
+  t ->
+  id:int ->
+  addr:int ->
+  beats:int ->
+  on_beat:(beat:int -> unit) ->
+  on_done:(unit -> unit) ->
+  unit
+(** Issue one read burst. [on_beat] fires as each data beat is delivered in
+    order; [on_done] after the last beat. Raises [Invalid_argument] for
+    illegal bursts (too long, 4 KB crossing, bad id). *)
+
+val write :
+  t -> id:int -> addr:int -> beats:int -> on_done:(unit -> unit) -> unit
+(** Issue one write burst; the master is assumed to supply write data at
+    full rate. [on_done] fires with the B response. *)
+
+(** {1 Statistics} *)
+
+val read_latency : t -> Desim.Stats.series
+(** Per-transaction latency (issue to last beat), picoseconds. *)
+
+val write_latency : t -> Desim.Stats.series
+val reads_issued : t -> int
+val writes_issued : t -> int

@@ -1,0 +1,381 @@
+(* Little-endian limbs of [limb_bits] bits each; the top limb is kept
+   masked so that structural equality coincides with value equality. *)
+
+let limb_bits = 16 (* products of two limbs must fit an OCaml int *)
+let limb_mask = (1 lsl limb_bits) - 1
+
+type t = { width : int; limbs : int array }
+
+let n_limbs width = if width = 0 then 0 else ((width - 1) / limb_bits) + 1
+
+(* Mask the top limb in place and return the vector. *)
+let canonicalize t =
+  let n = Array.length t.limbs in
+  if n > 0 then begin
+    let used = t.width - ((n - 1) * limb_bits) in
+    if used < limb_bits then
+      t.limbs.(n - 1) <- t.limbs.(n - 1) land ((1 lsl used) - 1)
+  end;
+  t
+
+let make width = { width; limbs = Array.make (n_limbs width) 0 }
+
+let zero width =
+  if width < 0 then invalid_arg "Bits.zero: negative width";
+  make width
+
+let width t = t.width
+
+let bit t i =
+  if i < 0 then invalid_arg "Bits.bit: negative index";
+  if i >= t.width then false
+  else t.limbs.(i / limb_bits) land (1 lsl (i mod limb_bits)) <> 0
+
+let set_bit t i v =
+  let limb = i / limb_bits and off = i mod limb_bits in
+  if v then t.limbs.(limb) <- t.limbs.(limb) lor (1 lsl off)
+  else t.limbs.(limb) <- t.limbs.(limb) land lnot (1 lsl off)
+
+let of_int ~width n =
+  if width < 0 then invalid_arg "Bits.of_int: negative width";
+  if n < 0 then invalid_arg "Bits.of_int: negative value";
+  let t = make width in
+  let rec fill i n =
+    if n <> 0 && i < Array.length t.limbs then begin
+      t.limbs.(i) <- n land limb_mask;
+      fill (i + 1) (n lsr limb_bits)
+    end
+  in
+  fill 0 n;
+  canonicalize t
+
+let of_int64 ~width n =
+  let t = make width in
+  let rec fill i n =
+    if (not (Int64.equal n 0L)) && i < Array.length t.limbs then begin
+      t.limbs.(i) <- Int64.to_int (Int64.logand n (Int64.of_int limb_mask));
+      fill (i + 1) (Int64.shift_right_logical n limb_bits)
+    end
+  in
+  fill 0 n;
+  canonicalize t
+
+let one width =
+  if width < 1 then invalid_arg "Bits.one: width must be >= 1";
+  of_int ~width 1
+
+let ones width =
+  let t = make width in
+  Array.fill t.limbs 0 (Array.length t.limbs) limb_mask;
+  canonicalize t
+
+let is_zero t = Array.for_all (fun l -> l = 0) t.limbs
+
+let msb t = if t.width = 0 then false else bit t (t.width - 1)
+
+let highest_set_bit t =
+  let rec scan i =
+    if i < 0 then -1 else if t.limbs.(i) <> 0 then
+      let rec bitscan b = if t.limbs.(i) land (1 lsl b) <> 0 then b else bitscan (b - 1) in
+      (i * limb_bits) + bitscan (limb_bits - 1)
+    else scan (i - 1)
+  in
+  scan (Array.length t.limbs - 1)
+
+let to_int t =
+  let h = highest_set_bit t in
+  if h >= 62 then failwith "Bits.to_int: value too large";
+  let v = ref 0 in
+  for i = Array.length t.limbs - 1 downto 0 do
+    v := (!v lsl limb_bits) lor t.limbs.(i)
+  done;
+  !v
+
+let to_int_trunc t =
+  let v = ref 0 in
+  let top = min (Array.length t.limbs) (62 / limb_bits) - 1 in
+  for i = top downto 0 do
+    v := (!v lsl limb_bits) lor t.limbs.(i)
+  done;
+  !v land max_int
+
+let to_int64 t =
+  let h = highest_set_bit t in
+  if h >= 64 then failwith "Bits.to_int64: value too large";
+  let v = ref 0L in
+  for i = min (Array.length t.limbs) (64 / limb_bits) - 1 downto 0 do
+    v := Int64.logor (Int64.shift_left !v limb_bits) (Int64.of_int t.limbs.(i))
+  done;
+  !v
+
+let popcount t =
+  let pop_limb l =
+    let rec go l acc = if l = 0 then acc else go (l lsr 1) (acc + (l land 1)) in
+    go l 0
+  in
+  Array.fold_left (fun acc l -> acc + pop_limb l) 0 t.limbs
+
+let of_bin_string s =
+  let digits =
+    String.to_seq s |> Seq.filter (fun c -> c <> '_') |> List.of_seq
+  in
+  let w = List.length digits in
+  let t = make w in
+  List.iteri
+    (fun i c ->
+      match c with
+      | '0' -> ()
+      | '1' -> set_bit t (w - 1 - i) true
+      | _ -> invalid_arg "Bits.of_bin_string: not a binary digit")
+    digits;
+  t
+
+let hex_val c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Bits: not a hex digit"
+
+let of_hex_string ~width s =
+  let digits =
+    String.to_seq s |> Seq.filter (fun c -> c <> '_') |> List.of_seq
+  in
+  let n = List.length digits in
+  let t = make width in
+  List.iteri
+    (fun i c ->
+      let v = hex_val c in
+      let base = (n - 1 - i) * 4 in
+      for b = 0 to 3 do
+        if base + b < width && v land (1 lsl b) <> 0 then set_bit t (base + b) true
+      done)
+    digits;
+  canonicalize t
+
+let to_bin_string t =
+  if t.width = 0 then "" else
+    String.init t.width (fun i -> if bit t (t.width - 1 - i) then '1' else '0')
+
+let to_hex_string t =
+  if t.width = 0 then "0" else begin
+    let n_digits = ((t.width - 1) / 4) + 1 in
+    String.init n_digits (fun i ->
+        let base = (n_digits - 1 - i) * 4 in
+        let v = ref 0 in
+        for b = 3 downto 0 do
+          v := (!v lsl 1) lor (if bit t (base + b) then 1 else 0)
+        done;
+        "0123456789abcdef".[!v])
+  end
+
+let pp fmt t = Format.fprintf fmt "%d'h%s" t.width (to_hex_string t)
+
+let check_same_width op a b =
+  if a.width <> b.width then
+    invalid_arg
+      (Printf.sprintf "Bits.%s: width mismatch (%d vs %d)" op a.width b.width)
+
+let add a b =
+  check_same_width "add" a b;
+  let t = make a.width in
+  let carry = ref 0 in
+  for i = 0 to Array.length t.limbs - 1 do
+    let s = a.limbs.(i) + b.limbs.(i) + !carry in
+    t.limbs.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  canonicalize t
+
+let lognot t =
+  let r = make t.width in
+  Array.iteri (fun i l -> r.limbs.(i) <- lnot l land limb_mask) t.limbs;
+  canonicalize r
+
+let neg t =
+  let r = lognot t in
+  (* add one *)
+  let carry = ref 1 in
+  let i = ref 0 in
+  let n = Array.length r.limbs in
+  while !carry <> 0 && !i < n do
+    let s = r.limbs.(!i) + !carry in
+    r.limbs.(!i) <- s land limb_mask;
+    carry := s lsr limb_bits;
+    incr i
+  done;
+  canonicalize r
+
+let sub a b =
+  check_same_width "sub" a b;
+  add a (neg b)
+
+let succ t = if t.width = 0 then t else add t (one t.width)
+
+let mul_wide a b =
+  let t = make (a.width + b.width) in
+  let na = Array.length a.limbs and nb = Array.length b.limbs in
+  for i = 0 to na - 1 do
+    if a.limbs.(i) <> 0 then begin
+      let carry = ref 0 in
+      for j = 0 to nb - 1 do
+        if i + j < Array.length t.limbs then begin
+          let p = (a.limbs.(i) * b.limbs.(j)) + t.limbs.(i + j) + !carry in
+          t.limbs.(i + j) <- p land limb_mask;
+          carry := p lsr limb_bits
+        end
+      done;
+      let k = ref (i + nb) in
+      while !carry <> 0 && !k < Array.length t.limbs do
+        let s = t.limbs.(!k) + !carry in
+        t.limbs.(!k) <- s land limb_mask;
+        carry := s lsr limb_bits;
+        incr k
+      done
+    end
+  done;
+  canonicalize t
+
+let resize t w =
+  if w = t.width then t
+  else begin
+    let r = make w in
+    let n = min (Array.length r.limbs) (Array.length t.limbs) in
+    Array.blit t.limbs 0 r.limbs 0 n;
+    canonicalize r
+  end
+
+let mul a b =
+  check_same_width "mul" a b;
+  resize (mul_wide a b) a.width
+
+let logand a b =
+  check_same_width "logand" a b;
+  let t = make a.width in
+  Array.iteri (fun i l -> t.limbs.(i) <- l land b.limbs.(i)) a.limbs;
+  t
+
+let logor a b =
+  check_same_width "logor" a b;
+  let t = make a.width in
+  Array.iteri (fun i l -> t.limbs.(i) <- l lor b.limbs.(i)) a.limbs;
+  t
+
+let logxor a b =
+  check_same_width "logxor" a b;
+  let t = make a.width in
+  Array.iteri (fun i l -> t.limbs.(i) <- l lxor b.limbs.(i)) a.limbs;
+  t
+
+let shift_left t n =
+  if n < 0 then invalid_arg "Bits.shift_left: negative shift";
+  let r = make t.width in
+  for i = t.width - 1 downto n do
+    if bit t (i - n) then set_bit r i true
+  done;
+  r
+
+let shift_right t n =
+  if n < 0 then invalid_arg "Bits.shift_right: negative shift";
+  let r = make t.width in
+  for i = 0 to t.width - 1 - n do
+    if bit t (i + n) then set_bit r i true
+  done;
+  r
+
+let shift_right_arith t n =
+  let r = shift_right t n in
+  if msb t then
+    for i = max 0 (t.width - n) to t.width - 1 do
+      set_bit r i true
+    done;
+  r
+
+let equal a b = a.width = b.width && a.limbs = b.limbs
+
+let compare a b =
+  check_same_width "compare" a b;
+  let rec go i =
+    if i < 0 then 0
+    else
+      let c = Int.compare a.limbs.(i) b.limbs.(i) in
+      if c <> 0 then c else go (i - 1)
+  in
+  go (Array.length a.limbs - 1)
+
+let lt a b = compare a b < 0
+let le a b = compare a b <= 0
+let gt a b = compare a b > 0
+let ge a b = compare a b >= 0
+
+let compare_signed a b =
+  check_same_width "compare_signed" a b;
+  match (msb a, msb b) with
+  | true, false -> -1
+  | false, true -> 1
+  | _ -> compare a b
+
+let to_signed_int t =
+  if not (msb t) then to_int t
+  else
+    let m = neg t in
+    -to_int m
+
+let of_signed_int ~width n =
+  if n >= 0 then of_int ~width n else neg (of_int ~width (-n))
+
+let slice t ~hi ~lo =
+  if lo < 0 || hi < lo || hi >= t.width then
+    invalid_arg
+      (Printf.sprintf "Bits.slice: [%d:%d] out of range for width %d" hi lo
+         t.width);
+  let r = make (hi - lo + 1) in
+  for i = 0 to hi - lo do
+    if bit t (lo + i) then set_bit r i true
+  done;
+  r
+
+let concat hi lo =
+  let r = make (hi.width + lo.width) in
+  for i = 0 to lo.width - 1 do
+    if bit lo i then set_bit r i true
+  done;
+  for i = 0 to hi.width - 1 do
+    if bit hi i then set_bit r (lo.width + i) true
+  done;
+  r
+
+let concat_list = function
+  | [] -> zero 0
+  | x :: rest -> List.fold_left (fun acc t -> concat acc t) x rest
+
+let sext t w =
+  if w <= t.width then resize t w
+  else begin
+    let r = resize t w in
+    if msb t then
+      for i = t.width to w - 1 do
+        set_bit r i true
+      done;
+    r
+  end
+
+let repeat t n =
+  if n < 0 then invalid_arg "Bits.repeat: negative count";
+  let rec go acc n = if n = 0 then acc else go (concat acc t) (n - 1) in
+  if n = 0 then zero 0 else go t (n - 1)
+
+let select_bits t positions =
+  let w = List.length positions in
+  let r = make w in
+  List.iteri
+    (fun i pos -> if bit t pos then set_bit r (w - 1 - i) true)
+    positions;
+  r
+
+let reverse t =
+  let r = make t.width in
+  for i = 0 to t.width - 1 do
+    if bit t i then set_bit r (t.width - 1 - i) true
+  done;
+  r

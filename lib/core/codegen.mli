@@ -1,0 +1,14 @@
+(** C++ host-binding generation (Fig. 3b).
+
+    From the command specs of a configuration, emit the header a host
+    program compiles against: one namespace per System, one stub per
+    command returning a [response_handle], plus the handle/remote_ptr
+    declarations of the Beethoven software library. The packing layout is
+    the one {!Cmd_spec.pack} implements, so hardware and host always
+    agree. *)
+
+val header : Config.t -> string
+(** The generated [<accel>_bindings.h]. *)
+
+val stubs : Config.t -> string
+(** The generated [.cc] with the marshalling bodies. *)

@@ -1,0 +1,30 @@
+(** Design-space exploration over the composer's knobs.
+
+    The paper observes that Spatial's DSE frequently proposed points that
+    failed synthesis; Beethoven's elaboration is cheap and its floorplanner
+    is the fit oracle, so a sweep over core counts (or any discrete knob)
+    can reject infeasible points before any tool run. This module provides
+    that: enumerate candidates, check fit, score with a user metric, and
+    report the frontier. *)
+
+type point = {
+  pt_cores : int;
+  pt_fits : bool;
+  pt_peak_utilization : float;  (** worst per-SLR utilization when it fits *)
+  pt_metric : float option;  (** user score (higher is better) *)
+}
+
+val sweep_cores :
+  config_of:(n_cores:int -> Config.t) ->
+  ?max_cores:int ->
+  ?metric:(n_cores:int -> float) ->
+  Platform.Device.t ->
+  point list
+(** Evaluate 1..[max_cores] (default 48). [metric] is only invoked for
+    points that fit. *)
+
+val best : point list -> point option
+(** Highest metric among fitting points (falls back to the largest
+    fitting core count when no metric was supplied). *)
+
+val render : point list -> string

@@ -1,0 +1,229 @@
+module R = Platform.Resources
+
+type t = {
+  config : Config.t;
+  platform : Platform.Device.t;
+  floorplan : Floorplan.t;
+  cmd_noc : Noc.t;
+  mem_noc : Noc.t;
+  mem_endpoints : ((string * int * string) * int) list;
+  interconnect : R.t;
+  frontend : R.t;
+  beethoven_total : R.t;
+  grand_total : R.t;
+  sram_plans : (string * Platform.Sram.plan) list;
+}
+
+(* Flattened (system, core) list in config order. *)
+let all_cores (config : Config.t) =
+  List.concat_map
+    (fun sys ->
+      List.init sys.Config.n_cores (fun core -> (sys, core)))
+    config.Config.systems
+
+(* Memory channel instances of one core: (channel-name, index). *)
+let mem_channels (sys : Config.system) =
+  List.concat_map
+    (fun rc ->
+      List.init rc.Config.rc_n_channels (fun i ->
+          Printf.sprintf "%s[%d]" rc.Config.rc_name i))
+    sys.Config.read_channels
+  @ List.concat_map
+      (fun wc ->
+        List.init wc.Config.wc_n_channels (fun i ->
+            Printf.sprintf "%s[%d]" wc.Config.wc_name i))
+      sys.Config.write_channels
+  @ List.filter_map
+      (fun sp ->
+        if sp.Config.sp_init_from_memory then
+          Some (Printf.sprintf "%s[init]" sp.Config.sp_name)
+        else None)
+      sys.Config.scratchpads
+
+let cmd_ep_id config ~system ~core =
+  let rec go idx = function
+    | [] -> invalid_arg "Elaborate: unknown system"
+    | sys :: rest ->
+        if sys.Config.sys_name = system then begin
+          if core < 0 || core >= sys.Config.n_cores then
+            invalid_arg "Elaborate: core index out of range";
+          idx + core
+        end
+        else go (idx + sys.Config.n_cores) rest
+  in
+  go 0 config.Config.systems
+
+let elaborate (config : Config.t) (platform : Platform.Device.t) =
+  let floorplan = Floorplan.place config platform in
+  let cores = all_cores config in
+  (* command NoC: one endpoint per core *)
+  let cmd_endpoints =
+    List.map
+      (fun (sys, core) ->
+        {
+          Noc.ep_id = cmd_ep_id config ~system:sys.Config.sys_name ~core;
+          ep_slr =
+            Floorplan.slr_of floorplan ~system:sys.Config.sys_name ~core;
+        })
+      cores
+  in
+  let cmd_noc =
+    Noc.build platform.Platform.Device.noc ~root_slr:0 ~endpoints:cmd_endpoints
+  in
+  (* memory NoC: one endpoint per memory channel instance *)
+  let mem_endpoints_assoc = ref [] in
+  let next_ep = ref 0 in
+  let mem_endpoints =
+    List.concat_map
+      (fun (sys, core) ->
+        let slr =
+          Floorplan.slr_of floorplan ~system:sys.Config.sys_name ~core
+        in
+        List.map
+          (fun chan ->
+            let ep = !next_ep in
+            incr next_ep;
+            mem_endpoints_assoc :=
+              ((sys.Config.sys_name, core, chan), ep) :: !mem_endpoints_assoc;
+            { Noc.ep_id = ep; ep_slr = slr })
+          (mem_channels sys))
+      cores
+  in
+  let mem_noc =
+    Noc.build platform.Platform.Device.noc ~root_slr:0 ~endpoints:mem_endpoints
+  in
+  let interconnect =
+    R.add
+      (R.scale
+         (Resource_model.noc_buffer
+            ~width_bits:(Resource_model.mem_noc_width_bits platform))
+         (Noc.n_buffers mem_noc))
+      (R.scale
+         (Resource_model.noc_buffer
+            ~width_bits:Resource_model.cmd_noc_width_bits)
+         (Noc.n_buffers cmd_noc))
+  in
+  let frontend = Resource_model.mmio_frontend in
+  let cores_total =
+    R.sum (List.map (fun cp -> cp.Floorplan.cp_total) floorplan.Floorplan.places)
+  in
+  let beethoven_total = R.sum [ cores_total; interconnect; frontend ] in
+  let grand_total =
+    R.add beethoven_total (Platform.Device.total_shell platform)
+  in
+  (* ASIC targets: compile every scratchpad request to SRAM macros *)
+  let sram_plans =
+    match platform.Platform.Device.sram_library with
+    | None -> []
+    | Some library ->
+        List.concat_map
+          (fun sys ->
+            List.map
+              (fun sp ->
+                ( Printf.sprintf "%s.%s" sys.Config.sys_name sp.Config.sp_name,
+                  Platform.Sram.compile ~library
+                    ~width_bits:sp.Config.sp_data_bits
+                    ~depth:sp.Config.sp_n_datas ))
+              sys.Config.scratchpads)
+          config.Config.systems
+  in
+  {
+    config;
+    platform;
+    floorplan;
+    cmd_noc;
+    mem_noc;
+    mem_endpoints = List.rev !mem_endpoints_assoc;
+    interconnect;
+    frontend;
+    beethoven_total;
+    grand_total;
+    sram_plans;
+  }
+
+let cmd_endpoint t ~system ~core = cmd_ep_id t.config ~system ~core
+
+let mem_endpoint t ~system ~core ~channel =
+  match List.assoc_opt (system, core, channel) t.mem_endpoints with
+  | Some ep -> ep
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Elaborate.mem_endpoint: no channel %s on %s[%d]"
+           channel system core)
+
+let resource_table t =
+  let cap = Platform.Device.total_capacity t.platform in
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let row name (r : R.t) =
+    let pct used total =
+      if total = 0 || total = max_int then "-"
+      else Printf.sprintf "%.1f%%" (100. *. float_of_int used /. float_of_int total)
+    in
+    pr "%-22s %8s %8s %8s %6s %6s | %6s %6s\n" name
+      (List.nth (R.to_row r) 0) (List.nth (R.to_row r) 1)
+      (List.nth (R.to_row r) 2) (List.nth (R.to_row r) 3)
+      (List.nth (R.to_row r) 4)
+      (pct r.R.clb cap.R.clb)
+      (pct r.R.lut cap.R.lut)
+  in
+  pr "%-22s %8s %8s %8s %6s %6s | %6s %6s\n" "" "CLB" "LUT" "FF" "BRAM"
+    "URAM" "CLB%" "LUT%";
+  row "Total (w/ shell)" t.grand_total;
+  row "Beethoven" t.beethoven_total;
+  row "Interconnect" t.interconnect;
+  row "MMIO frontend" t.frontend;
+  (match t.floorplan.Floorplan.places with
+  | [] -> ()
+  | first :: _ ->
+      row
+        (Printf.sprintf "Core (1 of %d)" (List.length t.floorplan.Floorplan.places))
+        first.Floorplan.cp_total;
+      List.iter
+        (fun mm ->
+          let cells =
+            match mm.Floorplan.mm_choice.Platform.Fpga_mem.cell with
+            | Platform.Fpga_mem.Bram ->
+                R.make ~bram:mm.Floorplan.mm_choice.Platform.Fpga_mem.count ()
+            | Platform.Fpga_mem.Uram ->
+                R.make ~uram:mm.Floorplan.mm_choice.Platform.Fpga_mem.count ()
+            | Platform.Fpga_mem.Lutram -> R.make ~lut:64 ()
+          in
+          row ("  mem: " ^ mm.Floorplan.mm_name) cells)
+        first.Floorplan.cp_memories);
+  Buffer.contents buf
+
+let cpp_header t = Codegen.header t.config
+let cpp_stubs t = Codegen.stubs t.config
+let constraints t = Floorplan.constraints t.floorplan
+
+let verilog t =
+  List.filter_map
+    (fun sys ->
+      match sys.Config.kernel_circuit with
+      | Some c ->
+          (* hand the tool flow the optimized netlist *)
+          Some
+            (sys.Config.sys_name,
+             Hw.Verilog.of_circuit (Hw.Opt.constant_fold c))
+      | None -> None)
+    t.config.Config.systems
+
+let summary t =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "Accelerator %S on %s\n" t.config.Config.acc_name
+    t.platform.Platform.Device.name;
+  pr "  %d system(s), %d core(s) total\n"
+    (List.length t.config.Config.systems)
+    (Config.total_cores t.config);
+  pr "  command NoC: %s\n"
+    (String.concat " / " (String.split_on_char '\n' (Noc.describe t.cmd_noc)));
+  pr "  memory NoC:  %s\n"
+    (String.concat " / " (String.split_on_char '\n' (Noc.describe t.mem_noc)));
+  pr "%s" (Floorplan.render t.floorplan);
+  List.iter
+    (fun (name, plan) ->
+      pr "  SRAM %s: %s\n" name (Platform.Sram.describe plan))
+    t.sram_plans;
+  Buffer.contents buf

@@ -1,0 +1,39 @@
+(** Static elaboration: configuration + platform → the generated system.
+
+    Produces everything Beethoven hands to the downstream tool flow —
+    floorplan and constraints, the command and memory interconnect
+    structure, the resource report (the Table II breakdown), C++ host
+    bindings, Verilog for RTL-DSL kernels, and ASIC SRAM compilation plans
+    when the platform is an ASIC target. *)
+
+type t = {
+  config : Config.t;
+  platform : Platform.Device.t;
+  floorplan : Floorplan.t;
+  cmd_noc : Noc.t;
+  mem_noc : Noc.t;
+  mem_endpoints : ((string * int * string) * int) list;
+      (** (system, core, channel-name) → memory NoC endpoint id *)
+  interconnect : Platform.Resources.t;
+  frontend : Platform.Resources.t;
+  beethoven_total : Platform.Resources.t;  (** everything except the shell *)
+  grand_total : Platform.Resources.t;  (** including the shell *)
+  sram_plans : (string * Platform.Sram.plan) list;  (** ASIC targets *)
+}
+
+val elaborate : Config.t -> Platform.Device.t -> t
+
+val cmd_endpoint : t -> system:string -> core:int -> int
+val mem_endpoint : t -> system:string -> core:int -> channel:string -> int
+
+val resource_table : t -> string
+(** Rendered utilization table in the shape of Table II. *)
+
+val cpp_header : t -> string
+val cpp_stubs : t -> string
+val constraints : t -> string
+val verilog : t -> (string * string) list
+(** (system name, Verilog source) for systems whose kernel is an RTL-DSL
+    circuit. *)
+
+val summary : t -> string

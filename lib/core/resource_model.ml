@@ -1,0 +1,70 @@
+module R = Platform.Resources
+
+(* Table II per-component figures, 23-core A3 on the VU9P. *)
+let reader_base = R.make ~clb:600 ~lut:2300 ~ff:2600 ()
+let writer_base = R.make ~clb:304 ~lut:815 ~ff:1051 ()
+let scratchpad_base = R.make ~clb:100 ~lut:300 ~ff:200 ()
+
+(* ~0.6% of the device, per the paper's description of the host frontend. *)
+let mmio_frontend = R.make ~clb:900 ~lut:4500 ~ff:5200 ~bram:2 ()
+
+let noc_buffer ~width_bits =
+  (* A fanout-4 switching node: ~4 LUT per payload bit for mux + routing,
+     lightly registered (Table II shows the interconnect is LUT-heavy and
+     register-poor). *)
+  let lut = width_bits * 4 in
+  R.make ~clb:(lut / 7) ~lut ~ff:(width_bits / 8) ()
+
+let mem_noc_width_bits (p : Platform.Device.t) =
+  (p.Platform.Device.axi.Axi.Params.data_bytes * 8) + 64 + 8
+
+let cmd_noc_width_bits = Rocc.width + 16
+
+let reader_buffer_bits (rc : Config.read_channel) (p : Platform.Device.t) =
+  rc.Config.rc_buffer_beats * p.Platform.Device.axi.Axi.Params.data_bytes * 8
+
+let writer_buffer_bits (wc : Config.write_channel) (p : Platform.Device.t) =
+  wc.Config.wc_buffer_beats * p.Platform.Device.axi.Axi.Params.data_bytes * 8
+
+let circuit_estimate c =
+  (* estimate on the folded netlist, as the tool flow would see it *)
+  let stats = Hw.Circuit.stats (Hw.Opt.constant_fold c) in
+  let get k = Option.value ~default:0 (List.assoc_opt k stats) in
+  (* ~1.5 LUT per netlist node bit is a crude but serviceable proxy *)
+  let nodes = get "nodes" in
+  let reg_bits = get "register_bits" in
+  let lut = nodes * 3 in
+  R.make ~clb:(lut / 7) ~lut ~ff:reg_bits ()
+
+let core_logic (sys : Config.system) (_p : Platform.Device.t) =
+  let kernel =
+    match sys.Config.kernel_circuit with
+    | Some c when sys.Config.kernel_resources = R.zero -> circuit_estimate c
+    | _ -> sys.Config.kernel_resources
+  in
+  let readers =
+    List.fold_left
+      (fun acc rc -> R.add acc (R.scale reader_base rc.Config.rc_n_channels))
+      R.zero sys.Config.read_channels
+  in
+  let writers =
+    List.fold_left
+      (fun acc wc -> R.add acc (R.scale writer_base wc.Config.wc_n_channels))
+      R.zero sys.Config.write_channels
+  in
+  let spads =
+    List.fold_left
+      (fun acc sp ->
+        let base = R.add scratchpad_base
+            (if sp.Config.sp_init_from_memory then reader_base else R.zero)
+        in
+        ignore sp;
+        R.add acc base)
+      R.zero sys.Config.scratchpads
+  in
+  let intercore =
+    List.fold_left
+      (fun acc ic -> R.add acc (R.scale writer_base ic.Config.ic_n_channels))
+      R.zero sys.Config.intra_core_ports
+  in
+  R.sum [ kernel; readers; writers; spads; intercore ]

@@ -1,0 +1,39 @@
+(** RTL cores inside the simulated SoC.
+
+    This is the paper's primary developer surface: the user writes only
+    the Core's RTL (Fig. 2) against Beethoven's command and memory-stream
+    interfaces, and the composer supplies everything around it. Here the
+    Core is an {!Hw.Circuit} following the port convention below; this
+    module bridges it — cycle by cycle, through {!Hw.Cyclesim} — to the
+    transaction-level command fabric and Reader/Writer models, so the
+    RTL's own datapath computes the results while the memory system
+    provides the timing.
+
+    {2 Port convention (the [BeethovenIO] equivalent)}
+
+    Command side (inputs unless noted):
+    - [req_valid]:1, [req_funct]:7, [req_p1]:64, [req_p2]:64;
+      output [req_ready]:1 — one RoCC beat per fire.
+    - output [resp_valid]:1, output [resp_data]:64; input [resp_ready]:1.
+
+    Per read channel [c] (declared in the configuration):
+    - outputs [c_req_valid]:1, [c_req_addr]:64, [c_req_len]:32 (bytes);
+      input [c_req_ready]:1.
+    - inputs [c_data_valid]:1, [c_data]:8*data_bytes;
+      output [c_data_ready]:1.
+
+    Per write channel [c]:
+    - outputs [c_req_valid]:1, [c_req_addr]:64, [c_req_len]:32;
+      input [c_req_ready]:1.
+    - outputs [c_data_valid]:1, [c_data]:8*data_bytes;
+      input [c_data_ready]:1.
+
+    The bridge asserts [resp_ready] permanently and completes the command
+    when the core raises [resp_valid] *and* every write transaction it
+    opened has received its final write response. *)
+
+val behavior : build:(unit -> Hw.Circuit.t) -> Soc.behavior
+(** A {!Soc.behavior} that instantiates one circuit per core (lazily, via
+    [build]) and clocks it at the fabric rate while a command is active.
+    Raises [Failure] at first use if the circuit is missing a required
+    port or a port width disagrees with the channel configuration. *)

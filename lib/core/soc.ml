@@ -1,0 +1,874 @@
+let log_src = Logs.Src.create "beethoven.soc" ~doc:"Simulated SoC events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  soc_uid : int;
+  engine : Desim.Engine.t;
+  design : Elaborate.t;
+  platform : Platform.Device.t;
+  dram : Dram.t;
+  axi : Axi.t; (* port 0; kept for stats/back-compat *)
+  axi_ports : Axi.t array; (* one per DDR controller *)
+  memory : Bytes.t;
+  ace_snoop_ps : int;
+      (* embedded platforms: per-transaction AXI-ACE coherence cost *)
+  mutable coherent_txns : int;
+  mutable cores : core_inst array; (* indexed by command endpoint id *)
+  mutable next_axi_id : int;
+}
+
+and ctx = {
+  engine : Desim.Engine.t;
+  clock_ps : int;
+  core_id : int;
+  system : Config.system;
+  soc : t;
+}
+
+and core_inst = {
+  ci_ctx : ctx;
+  ci_readers : (string, reader array) Hashtbl.t;
+  ci_writers : (string, writer array) Hashtbl.t;
+  ci_spads : (string, spad) Hashtbl.t;
+  ci_behavior : behavior;
+  ci_queue : (Rocc.t list * (int64 -> unit)) Queue.t;
+  mutable ci_partial : Rocc.t list;
+  mutable ci_busy : bool;
+}
+
+and behavior = ctx -> Rocc.t list -> respond:(int64 -> unit) -> unit
+
+and reader = {
+  r_soc : t;
+  r_axi : Axi.t; (* the DDR controller port this channel is wired to *)
+  r_cfg : Config.read_channel;
+  r_base_id : int;
+  r_noc_ps : int;
+  mutable r_busy : bool;
+}
+
+and writer = {
+  w_soc : t;
+  w_axi : Axi.t;
+  w_cfg : Config.write_channel;
+  w_base_id : int;
+  w_noc_ps : int;
+  mutable w_busy : bool;
+  mutable w_txn : writer_txn option;
+}
+
+and writer_txn = {
+  wt_total_items : int;
+  wt_item_bytes : int;
+  mutable wt_pushed : int;
+  mutable wt_buffered : int; (* items occupying buffer space (incl. in flight) *)
+  mutable wt_unshipped : int; (* buffered items not yet sent to AXI *)
+  mutable wt_next_addr : int;
+  mutable wt_remaining_bytes : int;
+  mutable wt_in_flight : int;
+  mutable wt_next_push_time : int;
+  wt_waiting_push : (unit -> unit) Queue.t;
+  wt_on_done : unit -> unit;
+  mutable wt_bursts_outstanding : int;
+  mutable wt_all_issued : bool;
+}
+
+and spad = {
+  sp_cfg : Config.scratchpad;
+  sp_soc : t;
+  sp_reader : reader;
+  sp_data : Bytes.t;
+  sp_row_bytes : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Device memory contents                                              *)
+(* ------------------------------------------------------------------ *)
+
+let mem_size t = Bytes.length t.memory
+let read_u8 t a = Char.code (Bytes.get t.memory a)
+let write_u8 t a v = Bytes.set t.memory a (Char.chr (v land 0xff))
+let read_u32 t a = Bytes.get_int32_le t.memory a
+let write_u32 t a v = Bytes.set_int32_le t.memory a v
+let read_u64 t a = Bytes.get_int64_le t.memory a
+let write_u64 t a v = Bytes.set_int64_le t.memory a v
+
+let blit_in t ~src ~dst_addr =
+  Bytes.blit src 0 t.memory dst_addr (Bytes.length src)
+
+let blit_out t ~src_addr ~dst =
+  Bytes.blit t.memory src_addr dst 0 (Bytes.length dst)
+
+let copy_within t ~src ~dst ~bytes = Bytes.blit t.memory src t.memory dst bytes
+
+(* On embedded platforms every fabric access is marked coherent over
+   AXI-ACE (§II-C2); the snoop adds a couple of interconnect cycles and is
+   counted for the stats report. *)
+let coherence_ps t =
+  if t.ace_snoop_ps > 0 then begin
+    t.coherent_txns <- t.coherent_txns + 1;
+    t.ace_snoop_ps
+  end
+  else 0
+
+(* ------------------------------------------------------------------ *)
+(* Reader                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Reader = struct
+  type r = reader
+
+  let beat_bytes (r : r) = (Axi.params r.r_axi).Axi.Params.data_bytes
+
+  let segments_for (r : r) ~addr ~bytes =
+    let prm = Axi.params r.r_axi in
+    let bb = prm.Axi.Params.data_bytes in
+    let addr0 = addr - (addr mod bb) in
+    let padded = ((addr + bytes + bb - 1) / bb * bb) - addr0 in
+    let prm =
+      {
+        prm with
+        Axi.Params.max_burst_beats =
+          min prm.Axi.Params.max_burst_beats r.r_cfg.Config.rc_burst_beats;
+      }
+    in
+    Axi.Burst.split ~params:prm ~addr:addr0 ~bytes:padded
+
+  let pick_id (r : r) k =
+    let n = (Axi.params r.r_axi).Axi.Params.n_ids in
+    if r.r_cfg.Config.rc_use_tlp then (r.r_base_id + k) mod n
+    else r.r_base_id
+
+  let stream (r : r) ~addr ~bytes ?item_bytes ~on_item ~on_done () =
+    if r.r_busy then failwith "Reader busy: one stream at a time";
+    if bytes <= 0 then invalid_arg "Reader.stream: bytes";
+    r.r_busy <- true;
+    let engine = r.r_soc.engine in
+    let clock_ps = r.r_soc.platform.Platform.Device.fabric_clock_ps in
+    let bb = beat_bytes r in
+    let item_bytes =
+      Option.value item_bytes ~default:r.r_cfg.Config.rc_data_bytes
+    in
+    if item_bytes > bb || bb mod item_bytes <> 0 then
+      invalid_arg "Reader.stream: item width must divide the AXI beat";
+    let items_per_beat = bb / item_bytes in
+    let lead_items = addr mod bb / item_bytes in
+    let n_items = ((bytes - 1) / item_bytes) + 1 in
+    let segs = Array.of_list (segments_for r ~addr ~bytes) in
+    let n_segs = Array.length segs in
+    let arrived = Array.make n_segs 0 in
+    (* beat arrival times, flattened *)
+    let total_beats = Array.fold_left (fun a s -> a + s.Axi.Burst.beats) 0 segs in
+    let beat_time = Array.make total_beats max_int in
+    let seg_base = Array.make n_segs 0 in
+    let _ =
+      Array.fold_left
+        (fun (i, base) s ->
+          seg_base.(i) <- base;
+          (i + 1, base + s.Axi.Burst.beats))
+        (0, 0) segs
+      |> fun (i, _) -> ignore i
+    in
+    let free_beats = ref r.r_cfg.Config.rc_buffer_beats in
+    let in_flight = ref 0 in
+    let next_seg = ref 0 in
+    (* delivery cursor *)
+    let delivered = ref 0 in
+    let next_delivery = ref 0 in
+    let pumping = ref false in
+    let rec try_issue () =
+      if
+        !next_seg < n_segs
+        && !in_flight < r.r_cfg.Config.rc_max_in_flight
+        && !free_beats >= segs.(!next_seg).Axi.Burst.beats
+      then begin
+        let si = !next_seg in
+        incr next_seg;
+        let seg = segs.(si) in
+        free_beats := !free_beats - seg.Axi.Burst.beats;
+        incr in_flight;
+        let id = pick_id r si in
+        (* request travels through the memory NoC (+ coherence snoop on
+           embedded platforms) *)
+        Desim.Engine.schedule engine
+          ~delay:(r.r_noc_ps + coherence_ps r.r_soc)
+          (fun () ->
+            Axi.read r.r_axi ~id ~addr:seg.Axi.Burst.addr
+              ~beats:seg.Axi.Burst.beats
+              ~on_beat:(fun ~beat ->
+                (* data beat returns through the NoC *)
+                Desim.Engine.schedule engine ~delay:r.r_noc_ps (fun () ->
+                    beat_time.(seg_base.(si) + beat) <-
+                      Desim.Engine.now engine;
+                    arrived.(si) <- arrived.(si) + 1;
+                    pump ()))
+              ~on_done:(fun () ->
+                decr in_flight;
+                try_issue ()));
+        try_issue ()
+      end
+    and pump () =
+      if not !pumping then begin
+        pumping := true;
+        step ()
+      end
+    and step () =
+      if !delivered >= n_items then begin
+        pumping := false;
+        r.r_busy <- false;
+        on_done ()
+      end
+      else begin
+        let item = !delivered in
+        let global_beat = (lead_items + item) / items_per_beat in
+        if beat_time.(global_beat) = max_int then pumping := false
+          (* beat not here yet; a later arrival re-pumps *)
+        else begin
+          let now = Desim.Engine.now engine in
+          let at = max (max now beat_time.(global_beat)) !next_delivery in
+          next_delivery := at + clock_ps;
+          Desim.Engine.schedule_at engine ~time:at (fun () ->
+              delivered := item + 1;
+              on_item ~offset:(item * item_bytes);
+              (* freeing: last item of its beat returns a buffer credit *)
+              if
+                (lead_items + item + 1) mod items_per_beat = 0
+                || item + 1 = n_items
+              then begin
+                incr free_beats;
+                try_issue ()
+              end;
+              step ())
+        end
+      end
+    in
+    try_issue ()
+
+  let stream_strided (r : r) ~addr ~row_bytes ~stride ~n_rows ?item_bytes
+      ~on_item ~on_done () =
+    if row_bytes <= 0 || n_rows <= 0 then
+      invalid_arg "Reader.stream_strided: dimensions";
+    if stride < row_bytes then
+      invalid_arg "Reader.stream_strided: stride smaller than the row";
+    let rec row i =
+      if i >= n_rows then on_done ()
+      else
+        stream r ~addr:(addr + (i * stride)) ~bytes:row_bytes ?item_bytes
+          ~on_item:(fun ~offset -> on_item ~row:i ~offset)
+          ~on_done:(fun () -> row (i + 1))
+          ()
+    in
+    row 0
+
+  let bulk (r : r) ~addr ~bytes ~on_done =
+    if r.r_busy then failwith "Reader busy: one stream at a time";
+    r.r_busy <- true;
+    let engine = r.r_soc.engine in
+    let segs = Array.of_list (segments_for r ~addr ~bytes) in
+    let n_segs = Array.length segs in
+    let in_flight = ref 0 in
+    let next_seg = ref 0 in
+    let completed = ref 0 in
+    let rec try_issue () =
+      if !next_seg < n_segs && !in_flight < r.r_cfg.Config.rc_max_in_flight
+      then begin
+        let si = !next_seg in
+        incr next_seg;
+        let seg = segs.(si) in
+        incr in_flight;
+        let id = pick_id r si in
+        Desim.Engine.schedule engine
+          ~delay:(r.r_noc_ps + coherence_ps r.r_soc)
+          (fun () ->
+            Axi.read r.r_axi ~id ~addr:seg.Axi.Burst.addr
+              ~beats:seg.Axi.Burst.beats
+              ~on_beat:(fun ~beat:_ -> ())
+              ~on_done:(fun () ->
+                decr in_flight;
+                incr completed;
+                if !completed = n_segs then
+                  Desim.Engine.schedule engine ~delay:r.r_noc_ps (fun () ->
+                      r.r_busy <- false;
+                      on_done ())
+                else try_issue ()));
+        try_issue ()
+      end
+    in
+    try_issue ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Writer = struct
+  type w = writer
+
+  let beat_bytes (w : w) = (Axi.params w.w_axi).Axi.Params.data_bytes
+
+  let pick_id (w : w) k =
+    let n = (Axi.params w.w_axi).Axi.Params.n_ids in
+    if w.w_cfg.Config.wc_use_tlp then (w.w_base_id + k) mod n
+    else w.w_base_id
+
+  (* Issue the next write burst if enough data is buffered. *)
+  let rec try_ship (w : w) txn =
+    let bb = beat_bytes w in
+    let prm = Axi.params w.w_axi in
+    let burst_beats =
+      min w.w_cfg.Config.wc_burst_beats prm.Axi.Params.max_burst_beats
+    in
+    if txn.wt_remaining_bytes > 0
+       && txn.wt_in_flight < w.w_cfg.Config.wc_max_in_flight
+    then begin
+      let items_per_beat = max 1 (bb / txn.wt_item_bytes) in
+      let want_beats =
+        min burst_beats (((txn.wt_remaining_bytes - 1) / bb) + 1)
+      in
+      (* respect the 4KB rule *)
+      let to_boundary =
+        (Axi.Burst.boundary - (txn.wt_next_addr mod Axi.Burst.boundary)) / bb
+      in
+      let want_beats = min want_beats (max 1 to_boundary) in
+      let have_items = txn.wt_unshipped in
+      let want_items = want_beats * items_per_beat in
+      let last_burst = txn.wt_pushed = txn.wt_total_items in
+      if have_items >= want_items || last_burst then begin
+        (* once everything is pushed, remaining beats may be pure padding
+           (sub-beat tails written with byte strobes) *)
+        let beats =
+          if have_items > 0 then
+            min want_beats (((have_items - 1) / items_per_beat) + 1)
+          else want_beats
+        in
+        let burst_bytes = min (beats * bb) txn.wt_remaining_bytes in
+        let burst_items = min have_items (beats * items_per_beat) in
+        txn.wt_unshipped <- txn.wt_unshipped - burst_items;
+        let addr = txn.wt_next_addr in
+        txn.wt_next_addr <- txn.wt_next_addr + (beats * bb);
+        txn.wt_remaining_bytes <- txn.wt_remaining_bytes - burst_bytes;
+        txn.wt_in_flight <- txn.wt_in_flight + 1;
+        txn.wt_bursts_outstanding <- txn.wt_bursts_outstanding + 1;
+        if txn.wt_remaining_bytes = 0 then txn.wt_all_issued <- true;
+        let id = pick_id w (addr / max 1 (beats * bb)) in
+        Desim.Engine.schedule w.w_soc.engine
+          ~delay:(w.w_noc_ps + coherence_ps w.w_soc)
+          (fun () ->
+            Axi.write w.w_axi ~id ~addr ~beats ~on_done:(fun () ->
+                txn.wt_in_flight <- txn.wt_in_flight - 1;
+                txn.wt_bursts_outstanding <- txn.wt_bursts_outstanding - 1;
+                (* the B response frees the buffer space this burst held *)
+                txn.wt_buffered <- txn.wt_buffered - burst_items;
+                let rec admit n =
+                  if n > 0 then
+                    match Queue.take_opt txn.wt_waiting_push with
+                    | Some k -> k (); admit (n - 1)
+                    | None -> ()
+                in
+                admit burst_items;
+                if txn.wt_all_issued && txn.wt_bursts_outstanding = 0 then begin
+                  w.w_busy <- false;
+                  w.w_txn <- None;
+                  txn.wt_on_done ()
+                end
+                else try_ship w txn));
+        try_ship w txn
+      end
+    end
+
+  let begin_txn (w : w) ~addr ~bytes ~on_done =
+    if w.w_busy then failwith "Writer busy: one transaction at a time";
+    if bytes <= 0 then invalid_arg "Writer.begin_txn: bytes";
+    w.w_busy <- true;
+    let item_bytes = w.w_cfg.Config.wc_data_bytes in
+    let bb = beat_bytes w in
+    let addr0 = addr - (addr mod bb) in
+    let padded = ((addr + bytes + bb - 1) / bb * bb) - addr0 in
+    w.w_txn <-
+      Some
+        {
+          wt_total_items = ((bytes - 1) / item_bytes) + 1;
+          wt_item_bytes = item_bytes;
+          wt_pushed = 0;
+          wt_buffered = 0;
+          wt_unshipped = 0;
+          wt_next_addr = addr0;
+          wt_remaining_bytes = padded;
+          wt_in_flight = 0;
+          wt_next_push_time = 0;
+          wt_waiting_push = Queue.create ();
+          wt_on_done = on_done;
+          wt_bursts_outstanding = 0;
+          wt_all_issued = false;
+        }
+
+  let push (w : w) ?item_bytes ~on_accept () =
+    match w.w_txn with
+    | None -> failwith "Writer.push: no open transaction"
+    | Some txn ->
+        ignore item_bytes;
+        let bb = beat_bytes w in
+        let items_per_beat = max 1 (bb / txn.wt_item_bytes) in
+        let capacity = w.w_cfg.Config.wc_buffer_beats * items_per_beat in
+        let engine = w.w_soc.engine in
+        let clock_ps = w.w_soc.platform.Platform.Device.fabric_clock_ps in
+        let admit () =
+          txn.wt_pushed <- txn.wt_pushed + 1;
+          txn.wt_buffered <- txn.wt_buffered + 1;
+          txn.wt_unshipped <- txn.wt_unshipped + 1;
+          let at =
+            max (Desim.Engine.now engine) txn.wt_next_push_time
+          in
+          txn.wt_next_push_time <- at + clock_ps;
+          Desim.Engine.schedule_at engine ~time:at (fun () ->
+              on_accept ();
+              try_ship w txn)
+        in
+        if txn.wt_buffered < capacity && Queue.is_empty txn.wt_waiting_push
+        then admit ()
+        else Queue.push admit txn.wt_waiting_push
+
+  let bulk (w : w) ~addr ~bytes ~on_done =
+    if w.w_busy then failwith "Writer busy: one transaction at a time";
+    w.w_busy <- true;
+    let engine = w.w_soc.engine in
+    let prm = Axi.params w.w_axi in
+    let bb = prm.Axi.Params.data_bytes in
+    let addr0 = addr - (addr mod bb) in
+    let padded = ((addr + bytes + bb - 1) / bb * bb) - addr0 in
+    let prm' =
+      {
+        prm with
+        Axi.Params.max_burst_beats =
+          min prm.Axi.Params.max_burst_beats w.w_cfg.Config.wc_burst_beats;
+      }
+    in
+    let segs =
+      Array.of_list (Axi.Burst.split ~params:prm' ~addr:addr0 ~bytes:padded)
+    in
+    let n_segs = Array.length segs in
+    let in_flight = ref 0 in
+    let next_seg = ref 0 in
+    let completed = ref 0 in
+    let rec try_issue () =
+      if !next_seg < n_segs && !in_flight < w.w_cfg.Config.wc_max_in_flight
+      then begin
+        let si = !next_seg in
+        incr next_seg;
+        let seg = segs.(si) in
+        incr in_flight;
+        let id = pick_id w si in
+        Desim.Engine.schedule engine
+          ~delay:(w.w_noc_ps + coherence_ps w.w_soc)
+          (fun () ->
+            Axi.write w.w_axi ~id ~addr:seg.Axi.Burst.addr
+              ~beats:seg.Axi.Burst.beats ~on_done:(fun () ->
+                decr in_flight;
+                incr completed;
+                if !completed = n_segs then begin
+                  w.w_busy <- false;
+                  Desim.Engine.schedule engine ~delay:w.w_noc_ps (fun () ->
+                      on_done ())
+                end
+                else try_issue ()));
+        try_issue ()
+      end
+    in
+    try_issue ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Scratchpad                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Scratchpad = struct
+  type sp = spad
+
+  let depth (sp : sp) = sp.sp_cfg.Config.sp_n_datas
+  let latency (sp : sp) = sp.sp_cfg.Config.sp_latency
+
+  let init_from_memory (sp : sp) ~addr ?bytes ~on_done () =
+    let total = sp.sp_row_bytes * depth sp in
+    let bytes = Option.value bytes ~default:total in
+    if bytes > total then invalid_arg "Scratchpad.init: larger than capacity";
+    Reader.bulk sp.sp_reader ~addr ~bytes ~on_done:(fun () ->
+        (* contents land as the fill completes *)
+        Bytes.blit sp.sp_soc.memory addr sp.sp_data 0 bytes;
+        on_done ())
+
+  let get (sp : sp) row =
+    if row < 0 || row >= depth sp then invalid_arg "Scratchpad.get: row";
+    Bytes.sub sp.sp_data (row * sp.sp_row_bytes) sp.sp_row_bytes
+
+  let set (sp : sp) row v =
+    if row < 0 || row >= depth sp then invalid_arg "Scratchpad.set: row";
+    if Bytes.length v <> sp.sp_row_bytes then
+      invalid_arg "Scratchpad.set: row width";
+    Bytes.blit v 0 sp.sp_data (row * sp.sp_row_bytes) sp.sp_row_bytes
+
+  let get_u64 (sp : sp) row =
+    if row < 0 || row >= depth sp then invalid_arg "Scratchpad.get_u64: row";
+    if sp.sp_row_bytes >= 8 then Bytes.get_int64_le sp.sp_data (row * sp.sp_row_bytes)
+    else begin
+      let v = ref 0L in
+      for i = sp.sp_row_bytes - 1 downto 0 do
+        v :=
+          Int64.logor
+            (Int64.shift_left !v 8)
+            (Int64.of_int (Char.code (Bytes.get sp.sp_data ((row * sp.sp_row_bytes) + i))))
+      done;
+      !v
+    end
+
+  let set_u64 (sp : sp) row v =
+    if row < 0 || row >= depth sp then invalid_arg "Scratchpad.set_u64: row";
+    let n = min sp.sp_row_bytes 8 in
+    for i = 0 to n - 1 do
+      Bytes.set sp.sp_data
+        ((row * sp.sp_row_bytes) + i)
+        (Char.chr
+           (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL)))
+    done
+end
+
+(* ------------------------------------------------------------------ *)
+(* SoC construction                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fresh_axi_id t =
+  let n = (Axi.params t.axi).Axi.Params.n_ids in
+  let id = t.next_axi_id mod n in
+  t.next_axi_id <- t.next_axi_id + 1;
+  id
+
+(* memory channels spread round-robin over the DDR controller ports, as
+   the platform developer's channel assignment would *)
+let port_for t ep = t.axi_ports.(ep mod Array.length t.axi_ports)
+
+let make_reader t ~cfg ~ep ~noc_ps =
+  { r_soc = t; r_axi = port_for t ep; r_cfg = cfg; r_base_id = fresh_axi_id t;
+    r_noc_ps = noc_ps; r_busy = false }
+
+let spad_fill_channel (sp : Config.scratchpad) =
+  Config.read_channel ~name:(sp.Config.sp_name ^ "[init]")
+    ~data_bytes:(max 1 (sp.Config.sp_data_bits / 8))
+    ()
+
+let next_soc_uid = ref 0
+
+let create ?(memory_bytes = 64 * 1024 * 1024) ?trace (design : Elaborate.t)
+    ~behaviors =
+  incr next_soc_uid;
+  let engine = Desim.Engine.create () in
+  let platform = design.Elaborate.platform in
+  let dram = Dram.create engine platform.Platform.Device.dram in
+  (* one AXI port per DDR controller; they share the DRAM device model,
+     but each has its own per-ID transaction queues *)
+  let n_ports = max 1 platform.Platform.Device.dram.Dram.Config.n_channels in
+  let axi_ports =
+    Array.init n_ports (fun i ->
+        if i = 0 then Axi.create ?trace engine dram platform.Platform.Device.axi
+        else Axi.create engine dram platform.Platform.Device.axi)
+  in
+  let axi = axi_ports.(0) in
+  let n_cores = Config.total_cores design.Elaborate.config in
+  let t =
+    {
+      soc_uid = !next_soc_uid;
+      engine;
+      design;
+      platform;
+      dram;
+      axi;
+      memory = Bytes.make memory_bytes '\000';
+      ace_snoop_ps =
+        (if platform.Platform.Device.host.Platform.Device.shared_address_space
+         then 2 * platform.Platform.Device.fabric_clock_ps
+         else 0);
+      coherent_txns = 0;
+      axi_ports;
+      cores = [||];
+      next_axi_id = 0;
+    }
+  in
+  let cores = Array.make n_cores None in
+  List.iter
+    (fun (sys : Config.system) ->
+      for core = 0 to sys.Config.n_cores - 1 do
+        let ep =
+          Elaborate.cmd_endpoint design ~system:sys.Config.sys_name ~core
+        in
+        let ctx =
+          { engine; clock_ps = platform.Platform.Device.fabric_clock_ps;
+            core_id = core; system = sys; soc = t }
+        in
+        let mem_ep chan =
+          Elaborate.mem_endpoint design ~system:sys.Config.sys_name ~core
+            ~channel:chan
+        in
+        let mem_noc_ps chan =
+          Noc.latency_ps design.Elaborate.mem_noc ~ep_id:(mem_ep chan)
+        in
+        let readers = Hashtbl.create 4 in
+        List.iter
+          (fun rc ->
+            let arr =
+              Array.init rc.Config.rc_n_channels (fun i ->
+                  let chan = Printf.sprintf "%s[%d]" rc.Config.rc_name i in
+                  make_reader t ~cfg:rc ~ep:(mem_ep chan)
+                    ~noc_ps:(mem_noc_ps chan))
+            in
+            Hashtbl.add readers rc.Config.rc_name arr)
+          sys.Config.read_channels;
+        let writers = Hashtbl.create 4 in
+        List.iter
+          (fun wc ->
+            let arr =
+              Array.init wc.Config.wc_n_channels (fun i ->
+                  let chan = Printf.sprintf "%s[%d]" wc.Config.wc_name i in
+                  {
+                    w_soc = t;
+                    w_axi = port_for t (mem_ep chan);
+                    w_cfg = wc;
+                    w_base_id = fresh_axi_id t;
+                    w_noc_ps = mem_noc_ps chan;
+                    w_busy = false;
+                    w_txn = None;
+                  })
+            in
+            Hashtbl.add writers wc.Config.wc_name arr)
+          sys.Config.write_channels;
+        let spads = Hashtbl.create 4 in
+        List.iter
+          (fun sp ->
+            let row_bytes = max 1 ((sp.Config.sp_data_bits + 7) / 8) in
+            let noc_ps, sp_ep =
+              if sp.Config.sp_init_from_memory then
+                let chan = Printf.sprintf "%s[init]" sp.Config.sp_name in
+                (mem_noc_ps chan, mem_ep chan)
+              else (0, 0)
+            in
+            Hashtbl.add spads sp.Config.sp_name
+              {
+                sp_cfg = sp;
+                sp_soc = t;
+                sp_reader =
+                  make_reader t ~cfg:(spad_fill_channel sp) ~ep:sp_ep ~noc_ps;
+                sp_data = Bytes.make (row_bytes * sp.Config.sp_n_datas) '\000';
+                sp_row_bytes = row_bytes;
+              })
+          sys.Config.scratchpads;
+        cores.(ep) <-
+          Some
+            {
+              ci_ctx = ctx;
+              ci_readers = readers;
+              ci_writers = writers;
+              ci_spads = spads;
+              ci_behavior = behaviors sys.Config.sys_name;
+              ci_queue = Queue.create ();
+              ci_partial = [];
+              ci_busy = false;
+            }
+      done)
+    design.Elaborate.config.Config.systems;
+  t.cores <- Array.map Option.get cores;
+  t
+
+let engine t = t.engine
+let uid t = t.soc_uid
+let axi_ports t = t.axi_ports
+let design t = t.design
+let platform t = t.platform
+let dram t = t.dram
+let axi t = t.axi
+
+(* ------------------------------------------------------------------ *)
+(* Command dispatch                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let find_core t ~system ~core =
+  let ep = Elaborate.cmd_endpoint t.design ~system ~core in
+  t.cores.(ep)
+
+let spec_for (sys : Config.system) funct =
+  List.find_opt (fun c -> c.Cmd_spec.cmd_funct = funct) sys.Config.commands
+
+let rec pump_core t (ci : core_inst) =
+  if (not ci.ci_busy) && not (Queue.is_empty ci.ci_queue) then begin
+    ci.ci_busy <- true;
+    let beats, respond = Queue.pop ci.ci_queue in
+    ci.ci_behavior ci.ci_ctx beats ~respond:(fun data ->
+        ci.ci_busy <- false;
+        respond data;
+        pump_core t ci)
+  end
+
+let send_command t (cmd : Rocc.t) ~on_response =
+  let systems = t.design.Elaborate.config.Config.systems in
+  if cmd.Rocc.system_id < 0 || cmd.Rocc.system_id >= List.length systems then
+    invalid_arg
+      (Printf.sprintf "Soc.send_command: no system %d" cmd.Rocc.system_id);
+  let sys = List.nth systems cmd.Rocc.system_id in
+  if cmd.Rocc.core_id < 0 || cmd.Rocc.core_id >= sys.Config.n_cores then
+    invalid_arg
+      (Printf.sprintf "Soc.send_command: %s has no core %d"
+         sys.Config.sys_name cmd.Rocc.core_id);
+  let ci = find_core t ~system:sys.Config.sys_name ~core:cmd.Rocc.core_id in
+  let ep =
+    Elaborate.cmd_endpoint t.design ~system:sys.Config.sys_name
+      ~core:cmd.Rocc.core_id
+  in
+  let noc_ps = Noc.latency_ps t.design.Elaborate.cmd_noc ~ep_id:ep in
+  let mmio_ps = t.platform.Platform.Device.host.Platform.Device.mmio_latency_ps in
+  Log.debug (fun m ->
+      m "cmd sys=%d core=%d funct=%d @%dps" cmd.Rocc.system_id
+        cmd.Rocc.core_id cmd.Rocc.funct (Desim.Engine.now t.engine));
+  Desim.Engine.schedule t.engine ~delay:(mmio_ps + noc_ps) (fun () ->
+      ci.ci_partial <- ci.ci_partial @ [ cmd ];
+      let expected =
+        match spec_for sys cmd.Rocc.funct with
+        | Some spec -> Cmd_spec.rocc_beats spec
+        | None -> 1
+      in
+      if List.length ci.ci_partial >= expected then begin
+        let beats = ci.ci_partial in
+        ci.ci_partial <- [];
+        let respond data =
+          (* response returns over the NoC and is picked up at the MMIO
+             frontend *)
+          Desim.Engine.schedule t.engine ~delay:(noc_ps + mmio_ps) (fun () ->
+              on_response
+                {
+                  Rocc.resp_system_id = cmd.Rocc.system_id;
+                  resp_core_id = cmd.Rocc.core_id;
+                  resp_data = data;
+                })
+        in
+        Queue.push (beats, respond) ci.ci_queue;
+        pump_core t ci
+      end)
+
+(* ------------------------------------------------------------------ *)
+(* Behavior-facing accessors                                           *)
+(* ------------------------------------------------------------------ *)
+
+let core_of_ctx (ctx : ctx) =
+  find_core ctx.soc ~system:ctx.system.Config.sys_name ~core:ctx.core_id
+
+let reader ctx ?(idx = 0) name =
+  match Hashtbl.find_opt (core_of_ctx ctx).ci_readers name with
+  | Some arr when idx < Array.length arr -> arr.(idx)
+  | _ -> invalid_arg ("Soc.reader: no channel " ^ name)
+
+let writer ctx ?(idx = 0) name =
+  match Hashtbl.find_opt (core_of_ctx ctx).ci_writers name with
+  | Some arr when idx < Array.length arr -> arr.(idx)
+  | _ -> invalid_arg ("Soc.writer: no channel " ^ name)
+
+let scratchpad ctx name =
+  match Hashtbl.find_opt (core_of_ctx ctx).ci_spads name with
+  | Some sp -> sp
+  | None -> invalid_arg ("Soc.scratchpad: no scratchpad " ^ name)
+
+module Intercore = struct
+  type port = {
+    p_ctx : ctx;
+    p_cfg : Config.intra_core_port;
+    mutable p_next_send : int;
+  }
+
+  let write port ~target_core ~row ~data ~on_done =
+    let ctx = port.p_ctx in
+    let t = ctx.soc in
+    let target_sys = port.p_cfg.Config.ic_to_system in
+    let target =
+      try find_core t ~system:target_sys ~core:target_core
+      with Invalid_argument _ ->
+        invalid_arg "Intercore.write: bad target core"
+    in
+    let sp =
+      match
+        Hashtbl.find_opt target.ci_spads port.p_cfg.Config.ic_to_scratchpad
+      with
+      | Some sp -> sp
+      | None -> invalid_arg "Intercore.write: target scratchpad missing"
+    in
+    if Bytes.length data <> sp.sp_row_bytes then
+      invalid_arg "Intercore.write: row width mismatch";
+    if row < 0 || row >= sp.sp_cfg.Config.sp_n_datas then
+      invalid_arg "Intercore.write: row out of range";
+    (* route: source core -> fabric root -> target core, one write per
+       cycle per channel *)
+    let src_ep =
+      Elaborate.cmd_endpoint t.design ~system:ctx.system.Config.sys_name
+        ~core:ctx.core_id
+    in
+    let dst_ep =
+      Elaborate.cmd_endpoint t.design ~system:target_sys ~core:target_core
+    in
+    let latency =
+      Noc.latency_ps t.design.Elaborate.cmd_noc ~ep_id:src_ep
+      + Noc.latency_ps t.design.Elaborate.cmd_noc ~ep_id:dst_ep
+    in
+    let now = Desim.Engine.now ctx.engine in
+    let start = max now port.p_next_send in
+    port.p_next_send <- start + ctx.clock_ps;
+    Desim.Engine.schedule_at ctx.engine ~time:(start + latency) (fun () ->
+        Scratchpad.set sp row data;
+        on_done ())
+end
+
+let intercore_out (ctx : ctx) name =
+  match
+    List.find_opt
+      (fun ic -> ic.Config.ic_name = name)
+      ctx.system.Config.intra_core_ports
+  with
+  | Some cfg -> { Intercore.p_ctx = ctx; p_cfg = cfg; p_next_send = 0 }
+  | None -> invalid_arg ("Soc.intercore_out: no port " ^ name)
+
+let after_cycles (ctx : ctx) n k =
+  Desim.Engine.schedule ctx.engine ~delay:(n * ctx.clock_ps) k
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let stats_report t =
+  let buf = Buffer.create 512 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let now = Desim.Engine.now t.engine in
+  pr "SoC statistics after %.3f us simulated:\n" (float_of_int now /. 1e6);
+  pr "  DRAM: %d B read, %d B written, %.2f GB/s achieved, %d row hits / %d misses\n"
+    (Dram.bytes_read t.dram) (Dram.bytes_written t.dram)
+    (Dram.achieved_bandwidth_gbs t.dram)
+    (Dram.row_hits t.dram) (Dram.row_misses t.dram);
+  let reads =
+    Array.fold_left (fun acc p -> acc + Axi.reads_issued p) 0 t.axi_ports
+  in
+  let writes =
+    Array.fold_left (fun acc p -> acc + Axi.writes_issued p) 0 t.axi_ports
+  in
+  pr "  AXI: %d read txns, %d write txns over %d port(s)" reads writes
+    (Array.length t.axi_ports);
+  (try
+     let s = Desim.Stats.summarize (Axi.read_latency t.axi) in
+     pr ", read latency mean %.0f ns (max %.0f)" (s.Desim.Stats.mean /. 1000.)
+       (s.Desim.Stats.max /. 1000.)
+   with Failure _ -> ());
+  pr "\n";
+  pr "  NoC: %d command messages, %d memory-fabric buffers\n"
+    (Noc.messages_sent t.design.Elaborate.cmd_noc)
+    (Noc.n_buffers t.design.Elaborate.mem_noc);
+  if t.ace_snoop_ps > 0 then
+    pr "  ACE: %d coherent transactions (%d ps snoop each)\n"
+      t.coherent_txns t.ace_snoop_ps;
+  Buffer.contents buf
+
+let coherent_transactions t = t.coherent_txns

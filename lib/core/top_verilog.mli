@@ -1,0 +1,15 @@
+(** Structural Verilog for the composed SoC.
+
+    Where {!Hw.Verilog} prints one user Core, this module emits the
+    generated system around it: the top module with the platform's
+    external interfaces (AXI-MMIO slave, one AXI master per memory
+    channel), one instance per accelerator core, Reader/Writer adapter
+    instances per memory channel, the command- and memory-NoC buffer
+    trees, and the MMIO frontend — each Beethoven-managed block as a
+    module with its full port list and a behavioural placeholder body
+    (the simulation models in this library are their reference
+    semantics). SLR assignments appear as per-instance pblock comments
+    matching {!Floorplan.constraints}. *)
+
+val generate : Elaborate.t -> string
+(** The complete [beethoven_top.v] text. *)

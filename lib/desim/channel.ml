@@ -1,0 +1,74 @@
+type 'a t = {
+  name : string;
+  engine : Engine.t;
+  capacity : int;
+  items : 'a Queue.t;
+  waiting_senders : ('a * (unit -> unit)) Queue.t;
+  waiting_receivers : ('a -> unit) Queue.t;
+}
+
+let create ?(name = "chan") engine ~capacity =
+  if capacity < 1 then invalid_arg "Channel.create: capacity must be >= 1";
+  {
+    name;
+    engine;
+    capacity;
+    items = Queue.create ();
+    waiting_senders = Queue.create ();
+    waiting_receivers = Queue.create ();
+  }
+
+let name t = t.name
+let occupancy t = Queue.length t.items
+
+(* Deliver buffered items to waiting receivers, and admit waiting senders
+   into freed space. Continuations run as zero-delay events so that a
+   callback chain can't starve the scheduler or recurse unboundedly. *)
+let rec settle t =
+  if (not (Queue.is_empty t.items)) && not (Queue.is_empty t.waiting_receivers)
+  then begin
+    let item = Queue.pop t.items in
+    let k = Queue.pop t.waiting_receivers in
+    Engine.schedule t.engine ~delay:0 (fun () -> k item);
+    settle t
+  end
+  else if
+    Queue.length t.items < t.capacity && not (Queue.is_empty t.waiting_senders)
+  then begin
+    let item, k = Queue.pop t.waiting_senders in
+    Queue.push item t.items;
+    Engine.schedule t.engine ~delay:0 k;
+    settle t
+  end
+
+let send t item ~on_accept =
+  if Queue.length t.items < t.capacity then begin
+    Queue.push item t.items;
+    Engine.schedule t.engine ~delay:0 on_accept
+  end
+  else Queue.push (item, on_accept) t.waiting_senders;
+  settle t
+
+let try_send t item =
+  if Queue.length t.items < t.capacity && Queue.is_empty t.waiting_senders
+  then begin
+    Queue.push item t.items;
+    settle t;
+    true
+  end
+  else false
+
+let recv t k =
+  Queue.push k t.waiting_receivers;
+  settle t
+
+let try_recv t =
+  if Queue.is_empty t.items || not (Queue.is_empty t.waiting_receivers) then
+    None
+  else begin
+    let item = Queue.pop t.items in
+    settle t;
+    Some item
+  end
+
+let peek t = Queue.peek_opt t.items

@@ -1,0 +1,28 @@
+(** Bounded ready/valid channels between simulation components.
+
+    A channel models an elastic FIFO with [capacity] entries. Producers call
+    {!send}; if the FIFO is full the item is queued on the producer side and
+    delivered when space frees up (the continuation fires then, modelling
+    backpressure). Consumers call {!recv}, which fires its continuation as
+    soon as an item is available — immediately if one is already buffered. *)
+
+type 'a t
+
+val create : ?name:string -> Engine.t -> capacity:int -> 'a t
+val name : 'a t -> string
+val occupancy : 'a t -> int
+
+val send : 'a t -> 'a -> on_accept:(unit -> unit) -> unit
+(** Offer an item. [on_accept] fires (possibly immediately) once the item has
+    entered the FIFO. *)
+
+val try_send : 'a t -> 'a -> bool
+(** Non-blocking send: [false] if the FIFO is full. *)
+
+val recv : 'a t -> ('a -> unit) -> unit
+(** Take the next item; the callback fires when one is available. Multiple
+    outstanding [recv]s are served in order. *)
+
+val try_recv : 'a t -> 'a option
+
+val peek : 'a t -> 'a option

@@ -1,0 +1,88 @@
+type event = { time : int; seq : int; action : unit -> unit }
+
+(* Binary min-heap ordered by (time, seq). *)
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : int;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0; seq = 0; action = ignore }
+let create () = { heap = Array.make 64 dummy; size = 0; clock = 0; next_seq = 0 }
+let now t = t.clock
+let pending t = t.size
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let push t ev =
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  let i = ref (t.size - 1) in
+  while !i > 0 && before t.heap.(!i) t.heap.((!i - 1) / 2) do
+    let parent = (!i - 1) / 2 in
+    let tmp = t.heap.(parent) in
+    t.heap.(parent) <- t.heap.(!i);
+    t.heap.(!i) <- tmp;
+    i := parent
+  done
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+    if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+    if !smallest <> !i then begin
+      let tmp = t.heap.(!smallest) in
+      t.heap.(!smallest) <- t.heap.(!i);
+      t.heap.(!i) <- tmp;
+      i := !smallest
+    end
+    else continue := false
+  done;
+  top
+
+let schedule_at t ~time action =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  let ev = { time; seq = t.next_seq; action } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev
+
+let schedule t ~delay action =
+  if delay < 0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock + delay) action
+
+let step t =
+  if t.size = 0 then false
+  else begin
+    let ev = pop t in
+    t.clock <- max t.clock ev.time;
+    ev.action ();
+    true
+  end
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some limit ->
+      let continue = ref true in
+      while !continue do
+        if t.size = 0 || t.heap.(0).time > limit then begin
+          t.clock <- max t.clock limit;
+          continue := false
+        end
+        else ignore (step t)
+      done

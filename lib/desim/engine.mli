@@ -1,0 +1,26 @@
+(** Discrete-event simulation engine.
+
+    Time is a dimensionless integer tick; the SoC models interpret it as a
+    clock cycle of the accelerator fabric clock. Events scheduled for the
+    same tick fire in scheduling order (deterministic). *)
+
+type t
+
+val create : unit -> t
+val now : t -> int
+
+val schedule : t -> delay:int -> (unit -> unit) -> unit
+(** Schedule a callback [delay >= 0] ticks from now. *)
+
+val schedule_at : t -> time:int -> (unit -> unit) -> unit
+(** Schedule at an absolute time [>= now]. *)
+
+val run : ?until:int -> t -> unit
+(** Drain the event queue. With [until], stop once the next event would fire
+    after [until] (the clock is left at [until]). *)
+
+val step : t -> bool
+(** Fire the single next event. Returns [false] when the queue is empty. *)
+
+val pending : t -> int
+(** Number of queued events. *)

@@ -1,0 +1,62 @@
+type counter = { mutable c : int }
+
+let counter () = { c = 0 }
+let incr ?(by = 1) t = t.c <- t.c + by
+let count t = t.c
+
+type summary = {
+  n : int;
+  mean : float;
+  min : float;
+  max : float;
+  total : float;
+}
+
+type series = {
+  mutable n : int;
+  mutable total : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let series () = { n = 0; total = 0.; mn = infinity; mx = neg_infinity }
+
+let observe s x =
+  s.n <- s.n + 1;
+  s.total <- s.total +. x;
+  if x < s.mn then s.mn <- x;
+  if x > s.mx then s.mx <- x
+
+let summarize s =
+  if s.n = 0 then failwith "Stats.summarize: empty series";
+  { n = s.n; mean = s.total /. float_of_int s.n; min = s.mn; max = s.mx;
+    total = s.total }
+
+type histogram = { bucket_width : float; table : (int, int) Hashtbl.t }
+
+let histogram ~bucket_width =
+  if bucket_width <= 0. then invalid_arg "Stats.histogram: bad bucket width";
+  { bucket_width; table = Hashtbl.create 16 }
+
+let record h x =
+  let b = int_of_float (Float.floor (x /. h.bucket_width)) in
+  let cur = Option.value ~default:0 (Hashtbl.find_opt h.table b) in
+  Hashtbl.replace h.table b (cur + 1)
+
+let buckets h =
+  Hashtbl.fold (fun b c acc -> (float_of_int b *. h.bucket_width, c) :: acc)
+    h.table []
+  |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+
+type busy_tracker = { mutable busy : int }
+
+let busy_tracker () = { busy = 0 }
+
+let mark_busy t ~from_ ~until =
+  if until < from_ then invalid_arg "Stats.mark_busy: negative interval";
+  t.busy <- t.busy + (until - from_)
+
+let busy_time t = t.busy
+
+let utilization t ~total =
+  if total <= 0 then 0. else float_of_int t.busy /. float_of_int total

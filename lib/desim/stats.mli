@@ -1,0 +1,40 @@
+(** Simulation statistics: counters, running means, histograms, and busy-time
+    tracking used to derive bandwidth and utilization numbers. *)
+
+type counter
+
+val counter : unit -> counter
+val incr : ?by:int -> counter -> unit
+val count : counter -> int
+
+type summary = {
+  n : int;
+  mean : float;
+  min : float;
+  max : float;
+  total : float;
+}
+
+type series
+
+val series : unit -> series
+val observe : series -> float -> unit
+val summarize : series -> summary
+(** Raises [Failure] on an empty series. *)
+
+type histogram
+
+val histogram : bucket_width:float -> histogram
+val record : histogram -> float -> unit
+val buckets : histogram -> (float * int) list
+(** Sorted [(bucket_lower_bound, count)] pairs. *)
+
+type busy_tracker
+
+val busy_tracker : unit -> busy_tracker
+val mark_busy : busy_tracker -> from_:int -> until:int -> unit
+(** Accumulate a busy interval [from_, until). Overlapping intervals are the
+    caller's responsibility to avoid (each resource tracks itself). *)
+
+val busy_time : busy_tracker -> int
+val utilization : busy_tracker -> total:int -> float

@@ -1,0 +1,150 @@
+open Signal
+
+type t = {
+  name : string;
+  outputs : (string * Signal.t) list;
+  inputs : (string * int) list;
+  topo : Signal.t list;
+  registers : Signal.t list;
+  memories : Signal.Mem.mem list;
+  sync_reads : Signal.t list;
+}
+
+(* Combinational fan-in of a node: the signals whose *current-cycle* value
+   is needed to evaluate it. Registers and sync reads depend on state, not
+   on their inputs, so they contribute nothing here. *)
+let comb_deps s =
+  match kind s with
+  | Const _ | Input _ | Reg _ | Mem_read_sync _ -> []
+  | Wire r -> ( match !r with Some d -> [ d ] | None -> [])
+  | Op2 (_, a, b) -> [ a; b ]
+  | Not a | Shift (_, _, a) | Select (_, _, a) -> [ a ]
+  | Mux (sel, cases) -> sel :: cases
+  | Concat parts -> parts
+  | Mem_read_async (_, addr) -> [ addr ]
+
+(* Inputs of sequential elements — reachable, but evaluated at the cycle
+   boundary. *)
+let seq_deps s =
+  match kind s with
+  | Reg { d; enable; clear; _ } ->
+      (d :: Option.to_list enable) @ Option.to_list clear
+  | Mem_read_sync (_, addr, enable) -> [ addr; enable ]
+  | _ -> []
+
+let mem_of s =
+  match kind s with
+  | Mem_read_async (m, _) | Mem_read_sync (m, _, _) -> Some m
+  | _ -> None
+
+let describe s =
+  match name_of s with
+  | Some n -> Printf.sprintf "signal #%d (%s)" (uid s) n
+  | None -> Printf.sprintf "signal #%d" (uid s)
+
+let create ~name ~outputs =
+  (match outputs with [] -> failwith "Circuit.create: no outputs" | _ -> ());
+  let seen_ports = Hashtbl.create 8 in
+  List.iter
+    (fun (port, _) ->
+      if Hashtbl.mem seen_ports port then
+        failwith ("Circuit.create: duplicate output port " ^ port);
+      Hashtbl.add seen_ports port ())
+    outputs;
+  let visited = Hashtbl.create 256 in
+  let all_nodes = ref [] in
+  let memories : (int, Signal.Mem.mem) Hashtbl.t = Hashtbl.create 8 in
+  (* Reach every node (combinational + sequential edges + memory write
+     ports). *)
+  let rec reach s =
+    if not (Hashtbl.mem visited (uid s)) then begin
+      Hashtbl.add visited (uid s) ();
+      all_nodes := s :: !all_nodes;
+      (match kind s with
+      | Wire r when Option.is_none !r ->
+          failwith ("Circuit.create: unassigned wire: " ^ describe s)
+      | _ -> ());
+      (match mem_of s with
+      | Some m ->
+          if not (Hashtbl.mem memories (mem_uid m)) then begin
+            Hashtbl.add memories (mem_uid m) m;
+            List.iter
+              (fun wp ->
+                reach wp.wp_enable;
+                reach wp.wp_addr;
+                reach wp.wp_data)
+              (mem_write_ports m)
+          end
+      | None -> ());
+      List.iter reach (comb_deps s);
+      List.iter reach (seq_deps s)
+    end
+  in
+  List.iter (fun (_, s) -> reach s) outputs;
+  (* Topological sort of combinational dependencies, detecting cycles. *)
+  let color = Hashtbl.create 256 in
+  (* 0 = white (absent), 1 = grey, 2 = black *)
+  let topo = ref [] in
+  let rec visit s =
+    match Hashtbl.find_opt color (uid s) with
+    | Some 2 -> ()
+    | Some _ -> failwith ("Circuit.create: combinational loop at " ^ describe s)
+    | None ->
+        Hashtbl.add color (uid s) 1;
+        List.iter visit (comb_deps s);
+        Hashtbl.replace color (uid s) 2;
+        topo := s :: !topo
+  in
+  List.iter visit !all_nodes;
+  let topo = List.rev !topo in
+  let inputs_tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      match kind s with
+      | Input n -> (
+          match Hashtbl.find_opt inputs_tbl n with
+          | Some w when w <> width s ->
+              failwith ("Circuit.create: input " ^ n ^ " used at two widths")
+          | Some _ -> ()
+          | None -> Hashtbl.add inputs_tbl n (width s))
+      | _ -> ())
+    !all_nodes;
+  let inputs =
+    Hashtbl.fold (fun n w acc -> (n, w) :: acc) inputs_tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let registers =
+    List.filter (fun s -> match kind s with Reg _ -> true | _ -> false) !all_nodes
+  in
+  let sync_reads =
+    List.filter
+      (fun s -> match kind s with Mem_read_sync _ -> true | _ -> false)
+      !all_nodes
+  in
+  let memories = Hashtbl.fold (fun _ m acc -> m :: acc) memories [] in
+  { name; outputs; inputs; topo; registers; memories; sync_reads }
+
+let name t = t.name
+let outputs t = t.outputs
+let inputs t = t.inputs
+let signals_in_topo_order t = t.topo
+let registers t = t.registers
+let memories t = t.memories
+let sync_reads t = t.sync_reads
+
+let stats t =
+  let reg_bits =
+    List.fold_left (fun acc r -> acc + Signal.width r) 0 t.registers
+  in
+  let mem_bits =
+    List.fold_left (fun acc m -> acc + (mem_size m * mem_width m)) 0 t.memories
+  in
+  [
+    ("nodes", List.length t.topo);
+    ("registers", List.length t.registers);
+    ("register_bits", reg_bits);
+    ("memories", List.length t.memories);
+    ("memory_bits", mem_bits);
+    ("inputs", List.length t.inputs);
+    ("outputs", List.length t.outputs);
+  ]

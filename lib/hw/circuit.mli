@@ -1,0 +1,30 @@
+(** A closed design: named outputs plus everything reachable from them.
+
+    [create] walks the graph, checks that every wire is assigned and that
+    there are no combinational cycles, and records a topological order of
+    the combinational logic used by both the simulator and the Verilog
+    printer. *)
+
+type t
+
+val create : name:string -> outputs:(string * Signal.t) list -> t
+(** Raises [Failure] on dangling wires, duplicate port names, or
+    combinational loops (with the offending signal's uid/name). *)
+
+val name : t -> string
+val outputs : t -> (string * Signal.t) list
+val inputs : t -> (string * int) list
+(** Discovered [(name, width)] inputs, sorted by name. Duplicate input
+    names must agree on width. *)
+
+val signals_in_topo_order : t -> Signal.t list
+(** Combinational evaluation order; sequential nodes (registers, sync
+    memory reads) appear as sources. *)
+
+val registers : t -> Signal.t list
+val memories : t -> Signal.Mem.mem list
+val sync_reads : t -> Signal.t list
+
+val stats : t -> (string * int) list
+(** Node-count statistics: regs, memories, total nodes, etc. (used by the
+    resource estimator). *)

@@ -1,0 +1,187 @@
+open Signal
+
+type t = {
+  circuit : Circuit.t;
+  values : (int, Bits.t) Hashtbl.t; (* signal uid -> settled value *)
+  inputs : (string, Bits.t ref) Hashtbl.t;
+  reg_state : (int, Bits.t) Hashtbl.t; (* reg uid -> current state *)
+  sync_state : (int, Bits.t) Hashtbl.t; (* sync-read uid -> latched value *)
+  mem_state : (int, Bits.t array) Hashtbl.t; (* mem uid -> contents *)
+  mutable cycle : int;
+  mutable settled : bool;
+}
+
+let create circuit =
+  let inputs = Hashtbl.create 8 in
+  List.iter
+    (fun (n, w) -> Hashtbl.add inputs n (ref (Bits.zero w)))
+    (Circuit.inputs circuit);
+  let reg_state = Hashtbl.create 32 in
+  List.iter
+    (fun r ->
+      match kind r with
+      | Reg spec -> Hashtbl.add reg_state (uid r) spec.init
+      | _ -> assert false)
+    (Circuit.registers circuit);
+  let sync_state = Hashtbl.create 8 in
+  List.iter
+    (fun s -> Hashtbl.add sync_state (uid s) (Bits.zero (width s)))
+    (Circuit.sync_reads circuit);
+  let mem_state = Hashtbl.create 8 in
+  List.iter
+    (fun m ->
+      Hashtbl.add mem_state (mem_uid m)
+        (Array.make (mem_size m) (Bits.zero (mem_width m))))
+    (Circuit.memories circuit);
+  {
+    circuit;
+    values = Hashtbl.create 256;
+    inputs;
+    reg_state;
+    sync_state;
+    mem_state;
+    cycle = 0;
+    settled = false;
+  }
+
+let set_input t name v =
+  match Hashtbl.find_opt t.inputs name with
+  | None -> raise Not_found
+  | Some r ->
+      if Bits.width v <> Bits.width !r then
+        invalid_arg
+          (Printf.sprintf "Cyclesim.set_input %s: width %d, expected %d" name
+             (Bits.width v) (Bits.width !r));
+      r := v;
+      t.settled <- false
+
+let set_input_int t name v =
+  match Hashtbl.find_opt t.inputs name with
+  | None -> raise Not_found
+  | Some r -> set_input t name (Bits.of_int ~width:(Bits.width !r) v)
+
+let value t s = Hashtbl.find t.values (uid s)
+
+let mem_read t m addr_bits =
+  let contents = Hashtbl.find t.mem_state (mem_uid m) in
+  let addr = Bits.to_int_trunc addr_bits in
+  if addr < mem_size m then contents.(addr) else Bits.zero (mem_width m)
+
+let eval t s =
+  match kind s with
+  | Const b -> b
+  | Input n -> !(Hashtbl.find t.inputs n)
+  | Wire r -> ( match !r with Some d -> value t d | None -> assert false)
+  | Op2 (op, a, b) -> (
+      let va = value t a and vb = value t b in
+      match op with
+      | Add -> Bits.add va vb
+      | Sub -> Bits.sub va vb
+      | Mul -> Bits.mul va vb
+      | And -> Bits.logand va vb
+      | Or -> Bits.logor va vb
+      | Xor -> Bits.logxor va vb
+      | Eq -> if Bits.equal va vb then Bits.one 1 else Bits.zero 1
+      | Lt -> if Bits.lt va vb then Bits.one 1 else Bits.zero 1)
+  | Not a -> Bits.lognot (value t a)
+  | Shift (dir, n, a) -> (
+      let v = value t a in
+      match dir with
+      | Sll -> Bits.shift_left v n
+      | Srl -> Bits.shift_right v n
+      | Sra -> Bits.shift_right_arith v n)
+  | Mux (sel, cases) ->
+      let idx = Bits.to_int_trunc (value t sel) in
+      let n = List.length cases in
+      let idx = if idx >= n then n - 1 else idx in
+      value t (List.nth cases idx)
+  | Select (hi, lo, a) -> Bits.slice (value t a) ~hi ~lo
+  | Concat parts ->
+      Bits.concat_list (List.map (fun p -> value t p) parts)
+  | Reg _ -> Hashtbl.find t.reg_state (uid s)
+  | Mem_read_sync _ -> Hashtbl.find t.sync_state (uid s)
+  | Mem_read_async (m, addr) -> mem_read t m (value t addr)
+
+let settle t =
+  List.iter
+    (fun s -> Hashtbl.replace t.values (uid s) (eval t s))
+    (Circuit.signals_in_topo_order t.circuit);
+  t.settled <- true
+
+let is_high b = not (Bits.is_zero b)
+
+let step t =
+  if not t.settled then settle t;
+  (* Compute next register values against settled combinational state. *)
+  let reg_next =
+    List.filter_map
+      (fun r ->
+        match kind r with
+        | Reg spec ->
+            let enabled =
+              match spec.enable with None -> true | Some e -> is_high (value t e)
+            in
+            let cleared =
+              match spec.clear with None -> false | Some c -> is_high (value t c)
+            in
+            if cleared then Some (uid r, spec.init)
+            else if enabled then Some (uid r, value t spec.d)
+            else None
+        | _ -> None)
+      (Circuit.registers t.circuit)
+  in
+  (* Sync memory reads latch the pre-write (read-first) contents. *)
+  let sync_next =
+    List.filter_map
+      (fun s ->
+        match kind s with
+        | Mem_read_sync (m, addr, enable) ->
+            if is_high (value t enable) then
+              Some (uid s, mem_read t m (value t addr))
+            else None
+        | _ -> None)
+      (Circuit.sync_reads t.circuit)
+  in
+  (* Memory writes commit last. *)
+  List.iter
+    (fun m ->
+      let contents = Hashtbl.find t.mem_state (mem_uid m) in
+      List.iter
+        (fun wp ->
+          if is_high (value t wp.wp_enable) then begin
+            let addr = Bits.to_int_trunc (value t wp.wp_addr) in
+            if addr < mem_size m then contents.(addr) <- value t wp.wp_data
+          end)
+        (mem_write_ports m))
+    (Circuit.memories t.circuit);
+  List.iter (fun (id, v) -> Hashtbl.replace t.reg_state id v) reg_next;
+  List.iter (fun (id, v) -> Hashtbl.replace t.sync_state id v) sync_next;
+  t.cycle <- t.cycle + 1;
+  t.settled <- false;
+  settle t
+
+let output t name =
+  if not t.settled then settle t;
+  match List.assoc_opt name (Circuit.outputs t.circuit) with
+  | Some s -> value t s
+  | None -> raise Not_found
+
+let output_int t name = Bits.to_int (output t name)
+
+let peek t s =
+  if not t.settled then settle t;
+  value t s
+
+let cycle t = t.cycle
+
+let read_memory t m addr =
+  let contents = Hashtbl.find t.mem_state (mem_uid m) in
+  if addr < 0 || addr >= mem_size m then invalid_arg "read_memory: range";
+  contents.(addr)
+
+let write_memory t m addr v =
+  let contents = Hashtbl.find t.mem_state (mem_uid m) in
+  if addr < 0 || addr >= mem_size m then invalid_arg "write_memory: range";
+  if Bits.width v <> mem_width m then invalid_arg "write_memory: width";
+  contents.(addr) <- v;
+  t.settled <- false

@@ -1,0 +1,35 @@
+(** Cycle-accurate interpreter for a {!Circuit}.
+
+    Evaluation model per {!step}: combinational logic settles against the
+    current register/memory state and the input values, then registers latch
+    and memory writes commit (registers read-before-write, memories
+    read-first). This matches a single-clock synchronous design. *)
+
+type t
+
+val create : Circuit.t -> t
+
+val set_input : t -> string -> Bits.t -> unit
+(** Raises [Not_found] for unknown ports, [Invalid_argument] on width
+    mismatch. Values persist across cycles until overwritten. *)
+
+val set_input_int : t -> string -> int -> unit
+val output : t -> string -> Bits.t
+val output_int : t -> string -> int
+
+val peek : t -> Signal.t -> Bits.t
+(** Read any signal's settled value (for debugging/tests). Only valid after
+    at least one {!settle} or {!step}. *)
+
+val settle : t -> unit
+(** Recompute combinational logic without advancing the clock. *)
+
+val step : t -> unit
+(** Settle, then advance one clock edge. *)
+
+val cycle : t -> int
+(** Number of clock edges so far. *)
+
+val read_memory : t -> Signal.Mem.mem -> int -> Bits.t
+val write_memory : t -> Signal.Mem.mem -> int -> Bits.t -> unit
+(** Backdoor memory access for test benches. *)

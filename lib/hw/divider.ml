@@ -1,0 +1,57 @@
+open Signal
+
+type t = {
+  start : Signal.t;
+  dividend : Signal.t;
+  divisor : Signal.t;
+  busy : Signal.t;
+  done_ : Signal.t;
+  quotient : Signal.t;
+  remainder : Signal.t;
+}
+
+let log2up n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  go 0
+
+let create ~width () =
+  if width < 2 then invalid_arg "Divider.create: width must be >= 2";
+  let start = wire 1 in
+  let dividend = wire width in
+  let divisor = wire width in
+  let cbits = log2up (width + 1) + 1 in
+  let busy = wire 1 in
+  let count = wire cbits in
+  (* the partial remainder needs one extra bit: (R << 1) | b < 2*divisor *)
+  let rem = wire (width + 1) in
+  let quot = wire width in
+  let dsr = wire width in
+  (* the dividend's bits stream in MSB-first from this shifting copy *)
+  let stream = wire width in
+  let go = start &: lnot busy in
+  let last_step = count ==: of_int ~width:cbits (width - 1) in
+  let stepping = busy in
+  let shifted = concat [ select rem ~hi:(width - 1) ~lo:0; msb stream ] in
+  let ge = shifted >=: uresize dsr (width + 1) in
+  let next_rem = mux2 ge (shifted -: uresize dsr (width + 1)) shifted in
+  let next_quot = concat [ select quot ~hi:(width - 2) ~lo:0; ge ] in
+  assign busy (reg (mux2 go vdd (mux2 (stepping &: last_step) gnd busy)));
+  assign count
+    (reg
+       (mux2 go (zero cbits)
+          (mux2 stepping (count +: of_int ~width:cbits 1) count)));
+  assign rem (reg (mux2 go (zero (width + 1)) (mux2 stepping next_rem rem)));
+  assign quot (reg (mux2 go (zero width) (mux2 stepping next_quot quot)));
+  assign dsr (reg (mux2 go divisor dsr));
+  assign stream
+    (reg (mux2 go dividend (mux2 stepping (sll stream 1) stream)));
+  let done_ = reg (stepping &: last_step) in
+  {
+    start;
+    dividend;
+    divisor;
+    busy;
+    done_;
+    quotient = quot;
+    remainder = select rem ~hi:(width - 1) ~lo:0;
+  }

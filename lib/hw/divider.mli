@@ -1,0 +1,21 @@
+(** Sequential unsigned restoring divider.
+
+    One quotient bit per cycle: a [width]-bit division completes in
+    [width] cycles — the shared normalization unit of A³'s stage 3 (one
+    divide per output lane) and a generally useful DSL block. *)
+
+type t = {
+  (* inputs (wires to drive) *)
+  start : Signal.t;  (** pulse with operands valid; ignored while busy *)
+  dividend : Signal.t;
+  divisor : Signal.t;
+  (* outputs *)
+  busy : Signal.t;
+  done_ : Signal.t;  (** one-cycle pulse when the result is ready *)
+  quotient : Signal.t;
+  remainder : Signal.t;
+}
+
+val create : width:int -> unit -> t
+(** Division by zero yields an all-ones quotient (the usual hardware
+    convention) with remainder = dividend. *)

@@ -1,0 +1,64 @@
+open Signal
+
+type t = {
+  enq_valid : Signal.t;
+  enq_data : Signal.t;
+  deq_ready : Signal.t;
+  enq_ready : Signal.t;
+  deq_valid : Signal.t;
+  deq_data : Signal.t;
+  occupancy : Signal.t;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  go 0
+
+let create ?(name = "fifo") ~depth ~width () =
+  if (not (is_pow2 depth)) || depth < 2 then
+    invalid_arg "Fifo.create: depth must be a power of two >= 2";
+  if width < 1 then invalid_arg "Fifo.create: width";
+  let abits = log2 depth in
+  let cbits = abits + 1 in
+  let enq_valid = wire 1 in
+  let enq_data = wire width in
+  let deq_ready = wire 1 in
+  let mem = Mem.create ~name:(name ^ "_ram") ~size:depth ~width () in
+  let count = wire cbits in
+  let rd_ptr = wire abits in
+  let wr_ptr = wire abits in
+  let empty = count ==: zero cbits in
+  let full = count ==: of_int ~width:cbits depth in
+  let enq_ready = lnot full in
+  let deq_valid = lnot empty in
+  let do_enq = enq_valid &: enq_ready in
+  let do_deq = deq_valid &: deq_ready in
+  Mem.write mem ~enable:do_enq ~addr:wr_ptr ~data:enq_data;
+  (* async read keeps single-cycle dequeue; the composer's memory backend
+     decides the physical cell, adding an output register when the target
+     requires synchronous reads *)
+  let deq_data = Mem.read_async mem ~addr:rd_ptr in
+  (* pointers advance on their handshakes; the power-of-two width wraps
+     them modulo depth for free *)
+  let next_ptr p fire =
+    reg (mux2 fire (p +: of_int ~width:abits 1) p)
+  in
+  assign wr_ptr (next_ptr wr_ptr do_enq);
+  assign rd_ptr (next_ptr rd_ptr do_deq);
+  let next_count =
+    mux2 (do_enq &: lnot do_deq)
+      (count +: of_int ~width:cbits 1)
+      (mux2 (do_deq &: lnot do_enq) (count -: of_int ~width:cbits 1) count)
+  in
+  assign count (reg next_count);
+  {
+    enq_valid;
+    enq_data;
+    deq_ready;
+    enq_ready;
+    deq_valid;
+    deq_data;
+    occupancy = count;
+  }

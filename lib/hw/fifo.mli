@@ -1,0 +1,25 @@
+(** Synchronous FIFO generator.
+
+    The staging queues between A³'s pipeline stages (Fig. 7) are instances
+    of this: a ready/valid elastic buffer built from a circular RAM, depth
+    a power of two. [create] returns the FIFO's user-facing signals; wire
+    the inputs, read the outputs, and hand the whole design to
+    {!Circuit.create} as usual. *)
+
+type t = {
+  (* inputs the enclosing design must drive *)
+  enq_valid : Signal.t;  (** wire: producer offers data *)
+  enq_data : Signal.t;  (** wire: data offered *)
+  deq_ready : Signal.t;  (** wire: consumer accepts *)
+  (* outputs *)
+  enq_ready : Signal.t;  (** FIFO can accept this cycle *)
+  deq_valid : Signal.t;  (** data available *)
+  deq_data : Signal.t;  (** head-of-queue data (valid when deq_valid) *)
+  occupancy : Signal.t;  (** current element count *)
+}
+
+val create : ?name:string -> depth:int -> width:int -> unit -> t
+(** [depth] must be a power of two >= 2. The FIFO registers its storage in
+    a {!Signal.Mem} (mapped to BRAM/URAM/SRAM by the composer's memory
+    backends when the design is elaborated). Raises [Invalid_argument] on
+    a bad depth. *)

@@ -1,0 +1,14 @@
+(** Netlist optimization.
+
+    The composer sits between the user's RTL and the tool flow, so it can
+    clean the netlist the way FIRRTL does for Chisel: constant folding,
+    identity simplification (x+0, x&0, mux on a constant selector, …) and
+    — implicitly, because {!Circuit.create} only keeps reachable nodes —
+    dead-code elimination. The transformed circuit is observationally
+    identical: same ports, same cycle-by-cycle behaviour. *)
+
+val constant_fold : Circuit.t -> Circuit.t
+(** Rebuild the circuit with constants propagated. *)
+
+val node_count : Circuit.t -> int
+(** Convenience: the ["nodes"] entry of {!Circuit.stats}. *)

@@ -1,0 +1,4 @@
+(** Verilog-2001 emission for a {!Circuit} — the composer's hand-off artifact
+    to FPGA/ASIC tool flows. One module per circuit, single clock [clk]. *)
+
+val of_circuit : Circuit.t -> string

@@ -1,0 +1,588 @@
+module B = Beethoven
+module Soc = B.Soc
+module R = Platform.Resources
+
+type kernel = Gemm | Nw | Stencil2d | Stencil3d | Md_knn
+
+let all = [ Gemm; Nw; Stencil2d; Stencil3d; Md_knn ]
+
+let name = function
+  | Gemm -> "GeMM"
+  | Nw -> "NW"
+  | Stencil2d -> "Stencil2D"
+  | Stencil3d -> "Stencil3D"
+  | Md_knn -> "MD-KNN"
+
+let description = function
+  | Gemm -> "O(N^3) matrix multiply"
+  | Nw -> "O(N^2) string alignment"
+  | Stencil2d -> "2D stencil pattern"
+  | Stencil3d -> "3D stencil pattern"
+  | Md_knn -> "N-body, k-nearest-neighbors approx."
+
+let data_size = function
+  | Gemm -> 256
+  | Nw -> 256
+  | Stencil2d -> 256
+  | Stencil3d -> 32
+  | Md_knn -> 1024
+
+let knn_k = 32
+
+let parallelism = function
+  | Gemm -> "High"
+  | Nw -> "None"
+  | Stencil2d -> "Medium"
+  | Stencil3d -> "High"
+  | Md_knn -> "High"
+
+let inner_ops k =
+  let n = data_size k in
+  match k with
+  | Gemm -> n * n * n
+  | Nw -> n * n
+  | Stencil2d -> (n - 2) * (n - 2)
+  | Stencil3d -> (n - 2) * (n - 2) * (n - 2)
+  | Md_knn -> n * knn_k
+
+(* Low-effort cycle model: one inner iteration per fabric cycle, except
+   GeMM's medium-effort implementation (8 parallel MACs, the
+   outer/middle-loop parallelization the paper describes). *)
+let gemm_macs_per_cycle = 8
+
+let beethoven_cycles k =
+  let n = data_size k in
+  match k with
+  | Gemm -> (n * n * n / gemm_macs_per_cycle) + (n * n / gemm_macs_per_cycle)
+  | Nw -> (n * n) + (4 * n)
+  | Stencil2d -> n * n
+  | Stencil3d -> n * n * n
+  | Md_knn -> n * knn_k
+
+(* ------------------------------------------------------------------ *)
+(* Baseline models (documented in DESIGN.md §4): invocations per second *)
+(* ------------------------------------------------------------------ *)
+
+(* Vitis HLS selects its own clock (250 MHz achievable for these kernels);
+   throughput limited by achievable II and unroll before congestion. *)
+let hls_ops_per_sec k =
+  let clock = 250.0e6 in
+  let ops = float_of_int (inner_ops k) in
+  match k with
+  | Gemm -> clock *. 16. /. ops (* unroll 16, II=1 *)
+  | Nw -> clock /. 4. /. ops (* loop-carried dependence: II=4 *)
+  | Stencil2d -> clock *. 4. /. ops (* unroll 4 *)
+  | Stencil3d -> clock *. 2. /. ops (* unroll 2 (port-limited) *)
+  | Md_knn -> clock *. 4. /. 5. /. ops (* unroll 4, fp accumulation II=5 *)
+
+(* Spatial at the 125 MHz default clock; similar pragmas, better II on NW. *)
+let spatial_ops_per_sec k =
+  let clock = 125.0e6 in
+  let ops = float_of_int (inner_ops k) in
+  match k with
+  | Gemm -> clock *. 16. /. ops
+  | Nw -> clock /. 2. /. ops
+  | Stencil2d -> clock *. 4. /. ops
+  | Stencil3d -> clock *. 2. /. ops
+  | Md_knn -> clock *. 4. /. 5. /. ops
+
+(* ------------------------------------------------------------------ *)
+(* Functional references                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Ref = struct
+  (* int32 semantics via OCaml int, truncated on store *)
+  let gemm n a b =
+    let c = Array.make (n * n) 0 in
+    for i = 0 to n - 1 do
+      for k = 0 to n - 1 do
+        let aik = a.((i * n) + k) in
+        if aik <> 0 then
+          for j = 0 to n - 1 do
+            c.((i * n) + j) <- c.((i * n) + j) + (aik * b.((k * n) + j))
+          done
+      done
+    done;
+    Array.map (fun v -> v land 0xFFFFFFFF) c
+
+  (* Needleman-Wunsch with MachSuite's scoring (match +1, mismatch -1,
+     gap -1). Returns the two aligned strings, each padded to 2n bytes
+     with '_'. *)
+  let nw n seqa seqb =
+    let gap = -1 in
+    let score a b = if a = b then 1 else -1 in
+    let m = Array.make_matrix (n + 1) (n + 1) 0 in
+    for i = 0 to n do
+      m.(i).(0) <- i * gap
+    done;
+    for j = 0 to n do
+      m.(0).(j) <- j * gap
+    done;
+    for i = 1 to n do
+      for j = 1 to n do
+        let d = m.(i - 1).(j - 1) + score (Bytes.get seqa (i - 1)) (Bytes.get seqb (j - 1)) in
+        let u = m.(i - 1).(j) + gap in
+        let l = m.(i).(j - 1) + gap in
+        m.(i).(j) <- max d (max u l)
+      done
+    done;
+    let out_a = Buffer.create (2 * n) and out_b = Buffer.create (2 * n) in
+    let rec back i j =
+      if i > 0 || j > 0 then begin
+        if
+          i > 0 && j > 0
+          && m.(i).(j)
+             = m.(i - 1).(j - 1)
+               + score (Bytes.get seqa (i - 1)) (Bytes.get seqb (j - 1))
+        then begin
+          Buffer.add_char out_a (Bytes.get seqa (i - 1));
+          Buffer.add_char out_b (Bytes.get seqb (j - 1));
+          back (i - 1) (j - 1)
+        end
+        else if i > 0 && m.(i).(j) = m.(i - 1).(j) + gap then begin
+          Buffer.add_char out_a (Bytes.get seqa (i - 1));
+          Buffer.add_char out_b '-';
+          back (i - 1) j
+        end
+        else begin
+          Buffer.add_char out_a '-';
+          Buffer.add_char out_b (Bytes.get seqb (j - 1));
+          back i (j - 1)
+        end
+      end
+    in
+    back n n;
+    let pad buf =
+      let s = Buffer.to_bytes buf in
+      (* traceback emits reversed strings *)
+      let len = Bytes.length s in
+      let r = Bytes.make (2 * n) '_' in
+      for i = 0 to len - 1 do
+        Bytes.set r i (Bytes.get s (len - 1 - i))
+      done;
+      r
+    in
+    (pad out_a, pad out_b)
+
+  (* 3x3 stencil with a fixed filter; borders copied through. *)
+  let filter2d = [| 1; 2; 1; 2; 4; 2; 1; 2; 1 |]
+
+  let stencil2d n grid =
+    let out = Array.copy grid in
+    for r = 1 to n - 2 do
+      for c = 1 to n - 2 do
+        let acc = ref 0 in
+        for dr = -1 to 1 do
+          for dc = -1 to 1 do
+            acc :=
+              !acc
+              + (filter2d.(((dr + 1) * 3) + dc + 1)
+                 * grid.(((r + dr) * n) + c + dc))
+          done
+        done;
+        out.((r * n) + c) <- !acc land 0xFFFFFFFF
+      done
+    done;
+    out
+
+  (* MachSuite stencil3d: out = C0*center + C1*(sum of 6 face neighbors),
+     boundary passed through. *)
+  let stencil3d n grid =
+    let c0 = 2 and c1 = 1 in
+    let idx i j k = (((i * n) + j) * n) + k in
+    let out = Array.copy grid in
+    for i = 1 to n - 2 do
+      for j = 1 to n - 2 do
+        for k = 1 to n - 2 do
+          let s =
+            grid.(idx (i - 1) j k) + grid.(idx (i + 1) j k)
+            + grid.(idx i (j - 1) k) + grid.(idx i (j + 1) k)
+            + grid.(idx i j (k - 1)) + grid.(idx i j (k + 1))
+          in
+          out.(idx i j k) <- ((c0 * grid.(idx i j k)) + (c1 * s)) land 0xFFFFFFFF
+        done
+      done
+    done;
+    out
+
+  (* Lennard-Jones force accumulation over a given neighbor list
+     (MachSuite md/knn). positions: 3n floats; nl: n*k indices. *)
+  let md_knn n k pos nl =
+    let force = Array.make (3 * n) 0.0 in
+    for i = 0 to n - 1 do
+      let ix = pos.(3 * i) and iy = pos.((3 * i) + 1) and iz = pos.((3 * i) + 2) in
+      let fx = ref 0.0 and fy = ref 0.0 and fz = ref 0.0 in
+      for j = 0 to k - 1 do
+        let nb = nl.((i * k) + j) in
+        let dx = ix -. pos.(3 * nb)
+        and dy = iy -. pos.((3 * nb) + 1)
+        and dz = iz -. pos.((3 * nb) + 2) in
+        let r2inv = 1.0 /. ((dx *. dx) +. (dy *. dy) +. (dz *. dz)) in
+        let r6inv = r2inv *. r2inv *. r2inv in
+        let potential = r6inv *. ((1.5 *. r6inv) -. 2.0) in
+        let f = r2inv *. potential in
+        fx := !fx +. (dx *. f);
+        fy := !fy +. (dy *. f);
+        fz := !fz +. (dz *. f)
+      done;
+      force.(3 * i) <- !fx;
+      force.((3 * i) + 1) <- !fy;
+      force.((3 * i) + 2) <- !fz
+    done;
+    force
+end
+
+(* ------------------------------------------------------------------ *)
+(* Buffer sizes and layouts                                            *)
+(* ------------------------------------------------------------------ *)
+
+let in1_bytes k =
+  let n = data_size k in
+  match k with
+  | Gemm -> n * n * 4
+  | Nw -> n
+  | Stencil2d -> n * n * 4
+  | Stencil3d -> n * n * n * 4
+  | Md_knn -> 3 * n * 8
+
+let in2_bytes k =
+  let n = data_size k in
+  match k with
+  | Gemm -> n * n * 4
+  | Nw -> n
+  | Stencil2d | Stencil3d -> 0
+  | Md_knn -> n * knn_k * 4
+
+let out_bytes k =
+  let n = data_size k in
+  match k with
+  | Gemm -> n * n * 4
+  | Nw -> 4 * n
+  | Stencil2d -> n * n * 4
+  | Stencil3d -> n * n * n * 4
+  | Md_knn -> 3 * n * 8
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let command =
+  B.Cmd_spec.make ~name:"launch" ~funct:0 ~response_bits:32
+    [
+      ("in1", B.Cmd_spec.Address);
+      ("in2", B.Cmd_spec.Address);
+      ("out", B.Cmd_spec.Address);
+    ]
+
+(* Per-core kernel logic estimates, reflecting the paper's utilization
+   limits: GeMM/MD-KNN LUT-bound, the stencils and NW BRAM-bound via
+   their scratchpads. *)
+let kernel_resources = function
+  | Gemm -> R.make ~clb:9000 ~lut:52000 ~ff:28000 ~dsp:64 ()
+  | Nw -> R.make ~clb:1400 ~lut:7000 ~ff:5000 ()
+  | Stencil2d -> R.make ~clb:1800 ~lut:9000 ~ff:7000 ()
+  | Stencil3d -> R.make ~clb:2200 ~lut:11000 ~ff:9000 ()
+  | Md_knn -> R.make ~clb:17000 ~lut:105000 ~ff:60000 ~dsp:96 ()
+
+let scratchpads k =
+  let n = data_size k in
+  match k with
+  | Gemm ->
+      [
+        B.Config.scratchpad ~name:"a_tile" ~data_bits:32 ~n_datas:(8 * n) ();
+        B.Config.scratchpad ~name:"c_acc" ~data_bits:32 ~n_datas:(8 * n) ();
+      ]
+  | Nw ->
+      [
+        (* full DP matrix (16-bit scores) + 2-bit traceback *)
+        B.Config.scratchpad ~name:"dp" ~data_bits:16 ~n_datas:(n * n) ();
+        B.Config.scratchpad ~name:"tb" ~data_bits:2 ~n_datas:(n * n) ();
+      ]
+  | Stencil2d ->
+      [ B.Config.scratchpad ~name:"tile" ~data_bits:32 ~n_datas:(n * n) () ]
+  | Stencil3d ->
+      [
+        B.Config.scratchpad ~name:"grid_in" ~data_bits:32 ~n_datas:(n * n * n) ();
+        B.Config.scratchpad ~name:"grid_out" ~data_bits:32 ~n_datas:(n * n * n) ();
+      ]
+  | Md_knn ->
+      [ B.Config.scratchpad ~name:"positions" ~data_bits:64 ~n_datas:(3 * n) () ]
+
+let config k ~n_cores =
+  B.Config.make ~name:("machsuite_" ^ name k)
+    [
+      B.Config.system ~name:(name k) ~n_cores
+        ~read_channels:
+          [
+            B.Config.read_channel ~name:"in1" ~data_bytes:4 ();
+            B.Config.read_channel ~name:"in2" ~data_bytes:4 ();
+          ]
+        ~write_channels:[ B.Config.write_channel ~name:"out" ~data_bytes:4 () ]
+        ~scratchpads:(scratchpads k) ~commands:[ command ]
+        ~kernel_resources:(kernel_resources k) ();
+    ]
+
+let auto_cores k platform =
+  let fits n =
+    match B.Floorplan.place (config k ~n_cores:n) platform with
+    | exception Failure _ -> false
+    | _ -> true
+  in
+  let rec grow n = if n < 48 && fits (n + 1) then grow (n + 1) else n in
+  if fits 1 then grow 1 else 0
+
+(* ------------------------------------------------------------------ *)
+(* Behaviors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let read_i32_array soc addr n =
+  Array.init n (fun i -> Int32.to_int (Soc.read_u32 soc (addr + (4 * i))) land 0xFFFFFFFF)
+
+let write_i32_array soc addr a =
+  Array.iteri (fun i v -> Soc.write_u32 soc (addr + (4 * i)) (Int32.of_int v)) a
+
+let read_f64_array soc addr n =
+  Array.init n (fun i -> Int64.float_of_bits (Soc.read_u64 soc (addr + (8 * i))))
+
+let write_f64_array soc addr a =
+  Array.iteri
+    (fun i v -> Soc.write_u64 soc (addr + (8 * i)) (Int64.bits_of_float v))
+    a
+
+(* Shared behavior skeleton: bulk-read inputs, model the compute, compute
+   functionally, bulk-write the output. *)
+let behavior k : Soc.behavior =
+ fun ctx beats ~respond ->
+  let args =
+    B.Cmd_spec.unpack command
+      (List.map (fun b -> (b.B.Rocc.payload1, b.B.Rocc.payload2)) beats)
+  in
+  let get nm = Int64.to_int (List.assoc nm args) in
+  let in1 = get "in1" and in2 = get "in2" and out = get "out" in
+  let soc = ctx.Soc.soc in
+  let n = data_size k in
+  let compute_and_write () =
+    Soc.after_cycles ctx (beethoven_cycles k) (fun () ->
+        (match k with
+        | Gemm ->
+            let a = read_i32_array soc in1 (n * n) in
+            let b = read_i32_array soc in2 (n * n) in
+            write_i32_array soc out (Ref.gemm n a b)
+        | Nw ->
+            let seqa = Bytes.create n and seqb = Bytes.create n in
+            Soc.blit_out soc ~src_addr:in1 ~dst:seqa;
+            Soc.blit_out soc ~src_addr:in2 ~dst:seqb;
+            let la, lb = Ref.nw n seqa seqb in
+            Soc.blit_in soc ~src:la ~dst_addr:out;
+            Soc.blit_in soc ~src:lb ~dst_addr:(out + (2 * n))
+        | Stencil2d ->
+            let g = read_i32_array soc in1 (n * n) in
+            write_i32_array soc out (Ref.stencil2d n g)
+        | Stencil3d ->
+            let g = read_i32_array soc in1 (n * n * n) in
+            write_i32_array soc out (Ref.stencil3d n g)
+        | Md_knn ->
+            let pos = read_f64_array soc in1 (3 * n) in
+            let nl = read_i32_array soc in2 (n * knn_k) in
+            write_f64_array soc out (Ref.md_knn n knn_k pos nl));
+        let writer = Soc.writer ctx "out" in
+        Soc.Writer.bulk writer ~addr:out ~bytes:(out_bytes k)
+          ~on_done:(fun () -> respond 1L))
+  in
+  let r1 = Soc.reader ctx "in1" in
+  if in2_bytes k > 0 then begin
+    let r2 = Soc.reader ctx "in2" in
+    let pending = ref 2 in
+    let arrive () =
+      decr pending;
+      if !pending = 0 then compute_and_write ()
+    in
+    Soc.Reader.bulk r1 ~addr:in1 ~bytes:(in1_bytes k) ~on_done:arrive;
+    Soc.Reader.bulk r2 ~addr:in2 ~bytes:(in2_bytes k) ~on_done:arrive
+  end
+  else
+    Soc.Reader.bulk r1 ~addr:in1 ~bytes:(in1_bytes k)
+      ~on_done:compute_and_write
+
+(* ------------------------------------------------------------------ *)
+(* Workload generation + verification                                  *)
+(* ------------------------------------------------------------------ *)
+
+let lcg seed =
+  let state = ref seed in
+  fun () ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+
+let fill_inputs k ~seed in1_host in2_host =
+  let rand = lcg (seed + 17) in
+  let n = data_size k in
+  (match k with
+  | Gemm ->
+      for i = 0 to (n * n) - 1 do
+        Bytes.set_int32_le in1_host (4 * i) (Int32.of_int (rand () mod 100));
+        Bytes.set_int32_le in2_host (4 * i) (Int32.of_int (rand () mod 100))
+      done
+  | Nw ->
+      let bases = "ACGT" in
+      for i = 0 to n - 1 do
+        Bytes.set in1_host i bases.[rand () mod 4];
+        Bytes.set in2_host i bases.[rand () mod 4]
+      done
+  | Stencil2d ->
+      for i = 0 to (n * n) - 1 do
+        Bytes.set_int32_le in1_host (4 * i) (Int32.of_int (rand () mod 1000))
+      done
+  | Stencil3d ->
+      for i = 0 to (n * n * n) - 1 do
+        Bytes.set_int32_le in1_host (4 * i) (Int32.of_int (rand () mod 1000))
+      done
+  | Md_knn ->
+      for i = 0 to (3 * n) - 1 do
+        Bytes.set_int64_le in1_host (8 * i)
+          (Int64.bits_of_float (float_of_int (rand () mod 1000) /. 50.0 +. 0.5))
+      done;
+      for i = 0 to n - 1 do
+        for j = 0 to knn_k - 1 do
+          (* neighbor list: any index != i *)
+          let nb = (i + 1 + (rand () mod (n - 1))) mod n in
+          Bytes.set_int32_le in2_host (4 * ((i * knn_k) + j)) (Int32.of_int nb)
+        done
+      done)
+
+let expected_output k in1_host in2_host =
+  let n = data_size k in
+  let i32s b count = Array.init count (fun i ->
+      Int32.to_int (Bytes.get_int32_le b (4 * i)) land 0xFFFFFFFF) in
+  match k with
+  | Gemm ->
+      let a = i32s in1_host (n * n) and b = i32s in2_host (n * n) in
+      let c = Ref.gemm n a b in
+      let out = Bytes.create (out_bytes k) in
+      Array.iteri (fun i v -> Bytes.set_int32_le out (4 * i) (Int32.of_int v)) c;
+      out
+  | Nw ->
+      let la, lb = Ref.nw n in1_host in2_host in
+      Bytes.cat la lb
+  | Stencil2d ->
+      let g = i32s in1_host (n * n) in
+      let o = Ref.stencil2d n g in
+      let out = Bytes.create (out_bytes k) in
+      Array.iteri (fun i v -> Bytes.set_int32_le out (4 * i) (Int32.of_int v)) o;
+      out
+  | Stencil3d ->
+      let g = i32s in1_host (n * n * n) in
+      let o = Ref.stencil3d n g in
+      let out = Bytes.create (out_bytes k) in
+      Array.iteri (fun i v -> Bytes.set_int32_le out (4 * i) (Int32.of_int v)) o;
+      out
+  | Md_knn ->
+      let pos = Array.init (3 * n) (fun i ->
+          Int64.float_of_bits (Bytes.get_int64_le in1_host (8 * i))) in
+      let nl = i32s in2_host (n * knn_k) in
+      let f = Ref.md_knn n knn_k pos nl in
+      let out = Bytes.create (out_bytes k) in
+      Array.iteri
+        (fun i v -> Bytes.set_int64_le out (8 * i) (Int64.bits_of_float v))
+        f;
+      out
+
+type run_result = {
+  n_cores : int;
+  rounds_per_core : int;
+  wall_ps : int;
+  measured_ops_per_sec : float;
+  single_latency_ps : int;
+  verified : bool;
+}
+
+let run ?(rounds = 1) k ~n_cores ~platform () =
+  let design = B.Elaborate.elaborate (config k ~n_cores) platform in
+  let mem_needed =
+    n_cores * (in1_bytes k + max 4096 (in2_bytes k) + out_bytes k)
+    + (1 lsl 20)
+  in
+  let soc =
+    Soc.create
+      ~memory_bytes:(max (64 * 1024 * 1024) (mem_needed * 2))
+      design
+      ~behaviors:(fun _ -> behavior k)
+  in
+  let handle = Runtime.Handle.create soc in
+  let module H = Runtime.Handle in
+  (* per-core buffers *)
+  let allocs =
+    Array.init n_cores (fun core ->
+        let p1 = H.malloc handle (in1_bytes k) in
+        let p2 = H.malloc handle (max 4096 (in2_bytes k)) in
+        let po = H.malloc handle (out_bytes k) in
+        fill_inputs k ~seed:(core * 7919) (H.host_bytes handle p1)
+          (H.host_bytes handle p2);
+        (p1, p2, po))
+  in
+  let pending_dma = ref 0 in
+  Array.iter
+    (fun (p1, p2, _) ->
+      incr pending_dma;
+      H.copy_to_fpga handle p1 ~on_done:(fun () -> decr pending_dma);
+      incr pending_dma;
+      H.copy_to_fpga handle p2 ~on_done:(fun () -> decr pending_dma))
+    allocs;
+  Desim.Engine.run (H.engine handle);
+  if !pending_dma <> 0 then failwith "machsuite: input DMA incomplete";
+  let send core =
+    let p1, p2, po = allocs.(core) in
+    H.send handle ~system:(name k) ~core ~cmd:command
+      ~args:
+        [
+          ("in1", Int64.of_int p1.H.rp_addr);
+          ("in2", Int64.of_int p2.H.rp_addr);
+          ("out", Int64.of_int po.H.rp_addr);
+        ]
+  in
+  (* single-invocation latency, measured in isolation *)
+  let t0 = Desim.Engine.now (H.engine handle) in
+  ignore (H.await handle (send 0));
+  let single_latency_ps = Desim.Engine.now (H.engine handle) - t0 in
+  (* steady-state phase: [rounds] invocations per core, all in flight *)
+  let t1 = Desim.Engine.now (H.engine handle) in
+  let hs = ref [] in
+  for _ = 1 to rounds do
+    for core = 0 to n_cores - 1 do
+      hs := send core :: !hs
+    done
+  done;
+  ignore (H.await_all handle !hs);
+  let t2 = Desim.Engine.now (H.engine handle) in
+  let wall_ps = t2 - t1 in
+  let measured_ops_per_sec =
+    float_of_int (rounds * n_cores) /. (float_of_int wall_ps *. 1e-12)
+  in
+  (* verify every core's output *)
+  let verified = ref true in
+  let pending = ref 0 in
+  Array.iter
+    (fun (_, _, po) ->
+      incr pending;
+      H.copy_from_fpga handle po ~on_done:(fun () -> decr pending))
+    allocs;
+  Desim.Engine.run (H.engine handle);
+  if !pending <> 0 then failwith "machsuite: output DMA incomplete";
+  Array.iteri
+    (fun core (p1, p2, po) ->
+      let expect =
+        expected_output k (H.host_bytes handle p1) (H.host_bytes handle p2)
+      in
+      if not (Bytes.equal expect (H.host_bytes handle po)) then begin
+        verified := false;
+        ignore core
+      end)
+    allocs;
+  {
+    n_cores;
+    rounds_per_core = rounds;
+    wall_ps;
+    measured_ops_per_sec;
+    single_latency_ps;
+    verified = !verified;
+  }

@@ -1,0 +1,62 @@
+(** The MachSuite subset of Table I, as Beethoven multi-core accelerators
+    plus functional references and baseline (Vitis HLS / Spatial)
+    performance models.
+
+    Each kernel has: a pure-OCaml reference used for correctness checking;
+    a Beethoven core behavior whose timing follows the paper's low-effort
+    methodology (1 inner-loop iteration per cycle, except GeMM's
+    medium-effort x8 MAC parallelism), with real memory traffic through
+    Readers/Writers; and analytic baseline models encoding the documented
+    limits of the HLS/Spatial implementations (initiation intervals under
+    loop-carried dependences, unroll factors, clock selection). Baselines
+    are models, not vendor-tool runs — see DESIGN.md §4. *)
+
+type kernel = Gemm | Nw | Stencil2d | Stencil3d | Md_knn
+
+val all : kernel list
+val name : kernel -> string
+val description : kernel -> string
+val data_size : kernel -> int (** the N of Table I *)
+
+val parallelism : kernel -> string (** High / Medium / None, per Table I *)
+
+val inner_ops : kernel -> int
+(** Inner-loop iterations of one kernel invocation (MACs, DP cells,
+    stencil points, pairwise interactions). *)
+
+val beethoven_cycles : kernel -> int
+(** Fabric cycles of compute for one invocation on one core (excludes
+    memory streaming, which is simulated). *)
+
+val hls_ops_per_sec : kernel -> float
+(** Modeled Vitis HLS single-kernel throughput (invocations/s). *)
+
+val spatial_ops_per_sec : kernel -> float
+
+val config : kernel -> n_cores:int -> Beethoven.Config.t
+val behavior : kernel -> Beethoven.Soc.behavior
+
+val auto_cores : kernel -> Platform.Device.t -> int
+(** Largest core count that still floorplans on the platform (capped at
+    48) — how the multi-core sizes of Fig. 6 are chosen. *)
+
+type run_result = {
+  n_cores : int;
+  rounds_per_core : int;
+  wall_ps : int;
+  measured_ops_per_sec : float;
+  single_latency_ps : int;  (** one invocation on one core, command to
+                                response, runtime included *)
+  verified : bool;
+}
+
+val run :
+  ?rounds:int ->
+  kernel ->
+  n_cores:int ->
+  platform:Platform.Device.t ->
+  unit ->
+  run_result
+(** Simulate [rounds] invocations on each of [n_cores] cores (distinct
+    buffers per core), verify every output against the reference, and
+    measure steady-state throughput. *)

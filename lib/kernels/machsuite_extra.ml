@@ -1,0 +1,473 @@
+module B = Beethoven
+module Soc = B.Soc
+module R = Platform.Resources
+
+type kernel = Fft | Spmv | Kmp | Merge_sort
+
+let all = [ Fft; Spmv; Kmp; Merge_sort ]
+
+let name = function
+  | Fft -> "FFT"
+  | Spmv -> "SpMV"
+  | Kmp -> "KMP"
+  | Merge_sort -> "Sort"
+
+let description = function
+  | Fft -> "radix-2 DIT fast Fourier transform"
+  | Spmv -> "sparse matrix-vector multiply (CRS)"
+  | Kmp -> "Knuth-Morris-Pratt string search"
+  | Merge_sort -> "bottom-up merge sort"
+
+let data_size = function
+  | Fft -> 1024
+  | Spmv -> 512
+  | Kmp -> 32768
+  | Merge_sort -> 2048
+
+(* SpMV row lengths are deterministic (4..11 nonzeros per row). *)
+let spmv_row_len row = 4 + ((row * 7) mod 8)
+
+let spmv_nnz =
+  let n = data_size Spmv in
+  let acc = ref 0 in
+  for row = 0 to n - 1 do
+    acc := !acc + spmv_row_len row
+  done;
+  !acc
+
+let log2i n =
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  go 0
+
+let beethoven_cycles k =
+  let n = data_size k in
+  match k with
+  | Fft -> n / 2 * log2i n (* one butterfly per cycle *)
+  | Spmv -> spmv_nnz (* one MAC per cycle *)
+  | Kmp -> n (* one text byte per cycle *)
+  | Merge_sort -> n * log2i n (* one compare-exchange per cycle *)
+
+module Ref = struct
+  let fft re im =
+    let n = Array.length re in
+    if n <> Array.length im || n land (n - 1) <> 0 then
+      invalid_arg "Ref.fft: power-of-two complex input";
+    (* bit reversal *)
+    let j = ref 0 in
+    for i = 0 to n - 2 do
+      if i < !j then begin
+        let t = re.(i) in re.(i) <- re.(!j); re.(!j) <- t;
+        let t = im.(i) in im.(i) <- im.(!j); im.(!j) <- t
+      end;
+      let m = ref (n lsr 1) in
+      while !m >= 1 && !j land !m <> 0 do
+        j := !j lxor !m;
+        m := !m lsr 1
+      done;
+      j := !j lor !m
+    done;
+    (* butterflies *)
+    let len = ref 2 in
+    while !len <= n do
+      let ang = -2.0 *. Float.pi /. float_of_int !len in
+      let half = !len / 2 in
+      let i = ref 0 in
+      while !i < n do
+        for k = 0 to half - 1 do
+          let w_re = Float.cos (ang *. float_of_int k) in
+          let w_im = Float.sin (ang *. float_of_int k) in
+          let a = !i + k and b = !i + k + half in
+          let t_re = (w_re *. re.(b)) -. (w_im *. im.(b)) in
+          let t_im = (w_re *. im.(b)) +. (w_im *. re.(b)) in
+          re.(b) <- re.(a) -. t_re;
+          im.(b) <- im.(a) -. t_im;
+          re.(a) <- re.(a) +. t_re;
+          im.(a) <- im.(a) +. t_im
+        done;
+        i := !i + !len
+      done;
+      len := !len * 2
+    done
+
+  let spmv ~values ~col_idx ~row_ptr ~x =
+    let n = Array.length row_ptr - 1 in
+    Array.init n (fun row ->
+        let acc = ref 0.0 in
+        for k = row_ptr.(row) to row_ptr.(row + 1) - 1 do
+          acc := !acc +. (values.(k) *. x.(col_idx.(k)))
+        done;
+        !acc)
+
+  let kmp ~pattern ~text =
+    let m = Bytes.length pattern and n = Bytes.length text in
+    if m = 0 then invalid_arg "Ref.kmp: empty pattern";
+    let fail = Array.make m 0 in
+    let k = ref 0 in
+    for q = 1 to m - 1 do
+      while !k > 0 && Bytes.get pattern !k <> Bytes.get pattern q do
+        k := fail.(!k - 1)
+      done;
+      if Bytes.get pattern !k = Bytes.get pattern q then incr k;
+      fail.(q) <- !k
+    done;
+    let matches = ref 0 in
+    let q = ref 0 in
+    for i = 0 to n - 1 do
+      while !q > 0 && Bytes.get pattern !q <> Bytes.get text i do
+        q := fail.(!q - 1)
+      done;
+      if Bytes.get pattern !q = Bytes.get text i then incr q;
+      if !q = m then begin
+        incr matches;
+        q := fail.(!q - 1)
+      end
+    done;
+    !matches
+
+  let merge_sort a =
+    let n = Array.length a in
+    let src = Array.copy a and dst = Array.make n 0 in
+    let src = ref src and dst = ref dst in
+    let width = ref 1 in
+    while !width < n do
+      let i = ref 0 in
+      while !i < n do
+        let mid = min (!i + !width) n in
+        let hi = min (!i + (2 * !width)) n in
+        let l = ref !i and r = ref mid in
+        for k = !i to hi - 1 do
+          if !l < mid && (!r >= hi || !src.(!l) <= !src.(!r)) then begin
+            !dst.(k) <- !src.(!l);
+            incr l
+          end
+          else begin
+            !dst.(k) <- !src.(!r);
+            incr r
+          end
+        done;
+        i := hi
+      done;
+      let t = !src in
+      src := !dst;
+      dst := t;
+      width := !width * 2
+    done;
+    !src
+end
+
+(* ------------------------------------------------------------------ *)
+(* Buffer layouts                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let in1_bytes k =
+  let n = data_size k in
+  match k with
+  | Fft -> 2 * n * 8
+  | Spmv ->
+      (* row_ptr (n+1 x i32), col_idx (nnz x i32), padding to 8, values *)
+      let head = ((n + 1) * 4) + (spmv_nnz * 4) in
+      let head = (head + 7) / 8 * 8 in
+      head + (spmv_nnz * 8)
+  | Kmp -> n
+  | Merge_sort -> n * 4
+
+let in2_bytes k =
+  match k with
+  | Fft | Merge_sort -> 0
+  | Spmv -> data_size Spmv * 8 (* x vector *)
+  | Kmp -> 64 (* [plen:i32][pattern bytes] *)
+
+let out_bytes k =
+  let n = data_size k in
+  match k with
+  | Fft -> 2 * n * 8
+  | Spmv -> n * 8
+  | Kmp -> 8
+  | Merge_sort -> n * 4
+
+let command =
+  B.Cmd_spec.make ~name:"launch" ~funct:0 ~response_bits:32
+    [
+      ("in1", B.Cmd_spec.Address);
+      ("in2", B.Cmd_spec.Address);
+      ("out", B.Cmd_spec.Address);
+    ]
+
+let kernel_resources = function
+  | Fft -> R.make ~clb:6000 ~lut:34000 ~ff:22000 ~dsp:48 ()
+  | Spmv -> R.make ~clb:2500 ~lut:14000 ~ff:9000 ~dsp:16 ()
+  | Kmp -> R.make ~clb:900 ~lut:4500 ~ff:3000 ()
+  | Merge_sort -> R.make ~clb:1600 ~lut:8000 ~ff:6000 ()
+
+let scratchpads k =
+  let n = data_size k in
+  match k with
+  | Fft ->
+      [ B.Config.scratchpad ~name:"stage" ~data_bits:128 ~n_datas:n () ]
+  | Spmv -> [ B.Config.scratchpad ~name:"x_vec" ~data_bits:64 ~n_datas:n () ]
+  | Kmp -> []
+  | Merge_sort ->
+      [ B.Config.scratchpad ~name:"runs" ~data_bits:32 ~n_datas:(2 * n) () ]
+
+let config k ~n_cores =
+  B.Config.make ~name:("machsuite_extra_" ^ name k)
+    [
+      B.Config.system ~name:(name k) ~n_cores
+        ~read_channels:
+          [
+            B.Config.read_channel ~name:"in1" ~data_bytes:8 ();
+            B.Config.read_channel ~name:"in2" ~data_bytes:8 ();
+          ]
+        ~write_channels:[ B.Config.write_channel ~name:"out" ~data_bytes:8 () ]
+        ~scratchpads:(scratchpads k) ~commands:[ command ]
+        ~kernel_resources:(kernel_resources k) ();
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Behaviors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let read_f64 soc addr i = Int64.float_of_bits (Soc.read_u64 soc (addr + (8 * i)))
+let write_f64 soc addr i v = Soc.write_u64 soc (addr + (8 * i)) (Int64.bits_of_float v)
+let read_i32 soc addr i = Int32.to_int (Soc.read_u32 soc (addr + (4 * i)))
+
+let compute k soc ~in1 ~in2 ~out =
+  let n = data_size k in
+  match k with
+  | Fft ->
+      let re = Array.init n (read_f64 soc in1) in
+      let im = Array.init n (fun i -> read_f64 soc in1 (n + i)) in
+      Ref.fft re im;
+      Array.iteri (write_f64 soc out) re;
+      Array.iteri (fun i v -> write_f64 soc out (n + i) v) im
+  | Spmv ->
+      let row_ptr = Array.init (n + 1) (read_i32 soc in1) in
+      let nnz = row_ptr.(n) in
+      let col_base = in1 + ((n + 1) * 4) in
+      let col_idx = Array.init nnz (read_i32 soc col_base) in
+      let val_base = in1 + (((n + 1) * 4) + (nnz * 4) + 7) / 8 * 8 in
+      let values = Array.init nnz (read_f64 soc val_base) in
+      let x = Array.init n (read_f64 soc in2) in
+      let y = Ref.spmv ~values ~col_idx ~row_ptr ~x in
+      Array.iteri (write_f64 soc out) y
+  | Kmp ->
+      let text = Bytes.create n in
+      Soc.blit_out soc ~src_addr:in1 ~dst:text;
+      let plen = read_i32 soc in2 0 in
+      let pattern = Bytes.create plen in
+      for i = 0 to plen - 1 do
+        Bytes.set pattern i (Char.chr (Soc.read_u8 soc (in2 + 4 + i)))
+      done;
+      let matches = Ref.kmp ~pattern ~text in
+      Soc.write_u64 soc out (Int64.of_int matches)
+  | Merge_sort ->
+      let a = Array.init n (read_i32 soc in1) in
+      let sorted = Ref.merge_sort a in
+      Array.iteri
+        (fun i v -> Soc.write_u32 soc (out + (4 * i)) (Int32.of_int v))
+        sorted
+
+let behavior k : Soc.behavior =
+ fun ctx beats ~respond ->
+  let args =
+    B.Cmd_spec.unpack command
+      (List.map (fun b -> (b.B.Rocc.payload1, b.B.Rocc.payload2)) beats)
+  in
+  let get nm = Int64.to_int (List.assoc nm args) in
+  let in1 = get "in1" and in2 = get "in2" and out = get "out" in
+  let soc = ctx.Soc.soc in
+  let finish () =
+    Soc.after_cycles ctx (beethoven_cycles k) (fun () ->
+        compute k soc ~in1 ~in2 ~out;
+        let writer = Soc.writer ctx "out" in
+        Soc.Writer.bulk writer ~addr:out ~bytes:(out_bytes k)
+          ~on_done:(fun () -> respond 1L))
+  in
+  let r1 = Soc.reader ctx "in1" in
+  if in2_bytes k > 0 then begin
+    let r2 = Soc.reader ctx "in2" in
+    let pending = ref 2 in
+    let arrive () =
+      decr pending;
+      if !pending = 0 then finish ()
+    in
+    Soc.Reader.bulk r1 ~addr:in1 ~bytes:(in1_bytes k) ~on_done:arrive;
+    Soc.Reader.bulk r2 ~addr:in2 ~bytes:(in2_bytes k) ~on_done:arrive
+  end
+  else Soc.Reader.bulk r1 ~addr:in1 ~bytes:(in1_bytes k) ~on_done:finish
+
+(* ------------------------------------------------------------------ *)
+(* Workloads + verification                                            *)
+(* ------------------------------------------------------------------ *)
+
+let lcg seed =
+  let state = ref seed in
+  fun () ->
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state
+
+let fill_inputs k ~seed in1_host in2_host =
+  let rand = lcg (seed + 23) in
+  let n = data_size k in
+  let f64 buf i v = Bytes.set_int64_le buf (8 * i) (Int64.bits_of_float v) in
+  match k with
+  | Fft ->
+      for i = 0 to (2 * n) - 1 do
+        f64 in1_host i (float_of_int (rand () mod 2000 - 1000) /. 100.)
+      done
+  | Spmv ->
+      let pos = ref 0 in
+      Bytes.set_int32_le in1_host 0 0l;
+      for row = 0 to n - 1 do
+        pos := !pos + spmv_row_len row;
+        Bytes.set_int32_le in1_host (4 * (row + 1)) (Int32.of_int !pos)
+      done;
+      let nnz = !pos in
+      assert (nnz = spmv_nnz);
+      let col_base = (n + 1) * 4 in
+      let val_base = (col_base + (nnz * 4) + 7) / 8 * 8 in
+      let k_ = ref 0 in
+      for row = 0 to n - 1 do
+        let len = spmv_row_len row in
+        for e = 0 to len - 1 do
+          (* spread the columns; keep them sorted within the row *)
+          let col = (row + (e * 37)) mod n in
+          Bytes.set_int32_le in1_host (col_base + (4 * !k_)) (Int32.of_int col);
+          Bytes.set_int64_le in1_host
+            (val_base + (8 * !k_))
+            (Int64.bits_of_float (float_of_int (rand () mod 200 - 100) /. 10.));
+          incr k_
+        done
+      done;
+      for i = 0 to n - 1 do
+        f64 in2_host i (float_of_int (rand () mod 100) /. 7.)
+      done
+  | Kmp ->
+      let bases = "ABAB" in
+      for i = 0 to n - 1 do
+        Bytes.set in1_host i
+          (if rand () mod 3 = 0 then 'A' else "ABCD".[rand () mod 4])
+      done;
+      Bytes.set_int32_le in2_host 0 4l;
+      String.iteri (fun i c -> Bytes.set in2_host (4 + i) c) bases
+  | Merge_sort ->
+      for i = 0 to n - 1 do
+        Bytes.set_int32_le in1_host (4 * i) (Int32.of_int (rand () mod 100000))
+      done
+
+let expected_output k in1_host in2_host =
+  let n = data_size k in
+  let out = Bytes.create (out_bytes k) in
+  let f64_of buf i = Int64.float_of_bits (Bytes.get_int64_le buf (8 * i)) in
+  (match k with
+  | Fft ->
+      let re = Array.init n (f64_of in1_host) in
+      let im = Array.init n (fun i -> f64_of in1_host (n + i)) in
+      Ref.fft re im;
+      Array.iteri (fun i v -> Bytes.set_int64_le out (8 * i) (Int64.bits_of_float v)) re;
+      Array.iteri
+        (fun i v -> Bytes.set_int64_le out (8 * (n + i)) (Int64.bits_of_float v))
+        im
+  | Spmv ->
+      let i32_of buf i = Int32.to_int (Bytes.get_int32_le buf (4 * i)) in
+      let row_ptr = Array.init (n + 1) (i32_of in1_host) in
+      let nnz = row_ptr.(n) in
+      let col_base = (n + 1) * 4 in
+      let col_idx =
+        Array.init nnz (fun i ->
+            Int32.to_int (Bytes.get_int32_le in1_host (col_base + (4 * i))))
+      in
+      let val_base = (col_base + (nnz * 4) + 7) / 8 * 8 in
+      let values =
+        Array.init nnz (fun i ->
+            Int64.float_of_bits (Bytes.get_int64_le in1_host (val_base + (8 * i))))
+      in
+      let x = Array.init n (f64_of in2_host) in
+      let y = Ref.spmv ~values ~col_idx ~row_ptr ~x in
+      Array.iteri (fun i v -> Bytes.set_int64_le out (8 * i) (Int64.bits_of_float v)) y
+  | Kmp ->
+      let plen = Int32.to_int (Bytes.get_int32_le in2_host 0) in
+      let pattern = Bytes.sub in2_host 4 plen in
+      let matches = Ref.kmp ~pattern ~text:in1_host in
+      Bytes.set_int64_le out 0 (Int64.of_int matches)
+  | Merge_sort ->
+      let a =
+        Array.init n (fun i -> Int32.to_int (Bytes.get_int32_le in1_host (4 * i)))
+      in
+      Array.iteri
+        (fun i v -> Bytes.set_int32_le out (4 * i) (Int32.of_int v))
+        (Ref.merge_sort a));
+  out
+
+type run_result = {
+  n_cores : int;
+  wall_ps : int;
+  measured_ops_per_sec : float;
+  verified : bool;
+}
+
+let run k ~n_cores ~platform () =
+  let design = B.Elaborate.elaborate (config k ~n_cores) platform in
+  let soc = Soc.create design ~behaviors:(fun _ -> behavior k) in
+  let handle = Runtime.Handle.create soc in
+  let module H = Runtime.Handle in
+  let allocs =
+    Array.init n_cores (fun core ->
+        let p1 = H.malloc handle (in1_bytes k) in
+        let p2 = H.malloc handle (max 4096 (in2_bytes k)) in
+        let po = H.malloc handle (out_bytes k) in
+        fill_inputs k ~seed:(core * 7919) (H.host_bytes handle p1)
+          (H.host_bytes handle p2);
+        (p1, p2, po))
+  in
+  let pending = ref 0 in
+  Array.iter
+    (fun (p1, p2, _) ->
+      List.iter
+        (fun p ->
+          incr pending;
+          H.copy_to_fpga handle p ~on_done:(fun () -> decr pending))
+        [ p1; p2 ])
+    allocs;
+  Desim.Engine.run (H.engine handle);
+  if !pending <> 0 then failwith "machsuite_extra: input DMA incomplete";
+  let t0 = Desim.Engine.now (H.engine handle) in
+  let hs =
+    Array.to_list
+      (Array.mapi
+         (fun core (p1, p2, po) ->
+           H.send handle ~system:(name k) ~core ~cmd:command
+             ~args:
+               [
+                 ("in1", Int64.of_int p1.H.rp_addr);
+                 ("in2", Int64.of_int p2.H.rp_addr);
+                 ("out", Int64.of_int po.H.rp_addr);
+               ])
+         allocs)
+  in
+  ignore (H.await_all handle hs);
+  let t1 = Desim.Engine.now (H.engine handle) in
+  let pending = ref 0 in
+  Array.iter
+    (fun (_, _, po) ->
+      incr pending;
+      H.copy_from_fpga handle po ~on_done:(fun () -> decr pending))
+    allocs;
+  Desim.Engine.run (H.engine handle);
+  if !pending <> 0 then failwith "machsuite_extra: output DMA incomplete";
+  let verified = ref true in
+  Array.iter
+    (fun (p1, p2, po) ->
+      let expect =
+        expected_output k (H.host_bytes handle p1) (H.host_bytes handle p2)
+      in
+      if not (Bytes.equal expect (H.host_bytes handle po)) then
+        verified := false)
+    allocs;
+  {
+    n_cores;
+    wall_ps = t1 - t0;
+    measured_ops_per_sec =
+      float_of_int n_cores /. (float_of_int (t1 - t0) *. 1e-12);
+    verified = !verified;
+  }

@@ -1,0 +1,49 @@
+(** Four more MachSuite kernels beyond the paper's Fig. 6 subset,
+    exercising memory patterns the first five don't: FFT (strided
+    butterflies), SpMV (data-dependent irregular reads), KMP string
+    search (pure streaming over a long text), and merge sort
+    (read-modify-write passes). Same structure as {!Machsuite}:
+    functional reference, low-effort Beethoven core behavior with real
+    memory traffic, end-to-end verification. These extend the framework's
+    application set; they are not part of the paper's evaluation and the
+    benches label them as extensions. *)
+
+type kernel = Fft | Spmv | Kmp | Merge_sort
+
+val all : kernel list
+val name : kernel -> string
+val description : kernel -> string
+val data_size : kernel -> int
+val beethoven_cycles : kernel -> int
+
+val config : kernel -> n_cores:int -> Beethoven.Config.t
+val behavior : kernel -> Beethoven.Soc.behavior
+
+type run_result = {
+  n_cores : int;
+  wall_ps : int;
+  measured_ops_per_sec : float;
+  verified : bool;
+}
+
+val run :
+  kernel -> n_cores:int -> platform:Platform.Device.t -> unit -> run_result
+
+(** Functional references, exposed for direct unit testing. *)
+module Ref : sig
+  val fft : float array -> float array -> unit
+  (** In-place radix-2 DIT FFT over (re, im); length must be a power of
+      two. *)
+
+  val spmv :
+    values:float array ->
+    col_idx:int array ->
+    row_ptr:int array ->
+    x:float array ->
+    float array
+
+  val kmp : pattern:Bytes.t -> text:Bytes.t -> int
+  (** Number of (possibly overlapping) matches. *)
+
+  val merge_sort : int array -> int array
+end

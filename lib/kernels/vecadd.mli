@@ -1,0 +1,20 @@
+(** The paper's running example (Fig. 2/3): a vector-addition Core with one
+    Reader and one Writer. Streams 32-bit words from [vec_addr], adds
+    [addend], and writes the result to [out_addr]. *)
+
+val command : Beethoven.Cmd_spec.command
+
+val config : ?n_cores:int -> unit -> Beethoven.Config.t
+(** The [MyAcceleratorConfig] equivalent: one system named ["VecAdd"]. *)
+
+val behavior : Beethoven.Soc.behavior
+
+val run :
+  ?n_cores:int ->
+  ?n_eles:int ->
+  platform:Platform.Device.t ->
+  unit ->
+  (int32 array * int32 array * int)
+(** End-to-end: allocate, fill with a deterministic pattern, copy to the
+    device, run one command per core over disjoint slices, copy back.
+    Returns (expected, actual, wall-clock picoseconds). *)

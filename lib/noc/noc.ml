@@ -1,0 +1,131 @@
+module Params = struct
+  type t = {
+    max_fanout : int;
+    node_latency_cycles : int;
+    slr_crossing_latency_cycles : int;
+    clock_ps : int;
+  }
+
+  let default ~clock_ps =
+    {
+      max_fanout = 4;
+      node_latency_cycles = 1;
+      slr_crossing_latency_cycles = 4;
+      clock_ps;
+    }
+end
+
+type endpoint = { ep_id : int; ep_slr : int }
+
+type t = {
+  prm : Params.t;
+  root_slr : int;
+  endpoints : endpoint list;
+  (* ep_id -> (tree depth within its SLR subtree, slr distance to root) *)
+  routes : (int, int * int) Hashtbl.t;
+  n_buffers : int;
+  n_crossings : int;
+  mutable messages : int;
+}
+
+(* Depth of a balanced tree with the given fanout over [n] leaves, and the
+   number of internal nodes it takes. A single leaf hangs directly off the
+   subtree root (depth 1 node). *)
+let tree_shape ~fanout n =
+  let rec go n_leaves depth nodes =
+    if n_leaves <= 1 then (depth, nodes)
+    else
+      let groups = ((n_leaves - 1) / fanout) + 1 in
+      go groups (depth + 1) (nodes + groups)
+  in
+  go n 0 0
+
+let build prm ~root_slr ~endpoints =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun ep ->
+      if Hashtbl.mem seen ep.ep_id then
+        invalid_arg "Noc.build: duplicate endpoint id";
+      Hashtbl.add seen ep.ep_id ())
+    endpoints;
+  (* group endpoints by SLR *)
+  let slrs = Hashtbl.create 4 in
+  List.iter
+    (fun ep ->
+      let cur = Option.value ~default:[] (Hashtbl.find_opt slrs ep.ep_slr) in
+      Hashtbl.replace slrs ep.ep_slr (ep :: cur))
+    endpoints;
+  let routes = Hashtbl.create 16 in
+  let n_buffers = ref 0 in
+  let n_crossings = ref 0 in
+  Hashtbl.iter
+    (fun slr eps ->
+      let n = List.length eps in
+      let depth, nodes = tree_shape ~fanout:prm.Params.max_fanout n in
+      (* subtree root itself is one buffer node even for a single leaf *)
+      let depth = max depth 1 in
+      let nodes = max nodes 1 in
+      n_buffers := !n_buffers + nodes;
+      let dist = abs (slr - root_slr) in
+      n_crossings := !n_crossings + dist;
+      (* a pipeline buffer per crossing *)
+      n_buffers := !n_buffers + dist;
+      List.iter (fun ep -> Hashtbl.add routes ep.ep_id (depth, dist)) eps)
+    slrs;
+  {
+    prm;
+    root_slr;
+    endpoints;
+    routes;
+    n_buffers = !n_buffers;
+    n_crossings = !n_crossings;
+    messages = 0;
+  }
+
+let n_endpoints t = List.length t.endpoints
+let n_buffers t = t.n_buffers
+let n_slr_crossings t = t.n_crossings
+
+let route t ep_id =
+  match Hashtbl.find_opt t.routes ep_id with
+  | Some r -> r
+  | None -> invalid_arg "Noc: unknown endpoint"
+
+let depth_of t ~ep_id =
+  let depth, dist = route t ep_id in
+  depth + dist
+
+let latency_cycles t ~ep_id =
+  let depth, dist = route t ep_id in
+  (depth * t.prm.Params.node_latency_cycles)
+  + (dist * t.prm.Params.slr_crossing_latency_cycles)
+
+let latency_ps t ~ep_id = latency_cycles t ~ep_id * t.prm.Params.clock_ps
+
+let describe t =
+  let by_slr = Hashtbl.create 4 in
+  List.iter
+    (fun ep ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt by_slr ep.ep_slr) in
+      Hashtbl.replace by_slr ep.ep_slr (cur + 1))
+    t.endpoints;
+  let slr_lines =
+    Hashtbl.fold (fun slr n acc -> (slr, n) :: acc) by_slr []
+    |> List.sort compare
+    |> List.map (fun (slr, n) ->
+           Printf.sprintf "  SLR%d: %d endpoint%s%s" slr n
+             (if n = 1 then "" else "s")
+             (if slr = t.root_slr then " (root)" else ""))
+  in
+  String.concat "\n"
+    (Printf.sprintf "tree NoC: %d endpoints, %d buffers, %d SLR crossings"
+       (n_endpoints t) t.n_buffers t.n_crossings
+    :: slr_lines)
+
+let send t engine ~ep_id ?(payload_beats = 1) k =
+  if payload_beats < 1 then invalid_arg "Noc.send: payload_beats";
+  t.messages <- t.messages + 1;
+  let cycles = latency_cycles t ~ep_id + (payload_beats - 1) in
+  Desim.Engine.schedule engine ~delay:(cycles * t.prm.Params.clock_ps) k
+
+let messages_sent t = t.messages

@@ -1,0 +1,58 @@
+(** SLR-aware tree interconnect generator.
+
+    Beethoven's on-chip networks (for commands, memory traffic, and
+    intra-accelerator communication) are trees of buffers: one subtree per
+    SLR containing the endpoints placed there, subtree roots joined to the
+    network root across die-crossing links with extra pipelining. Fanout
+    and per-hop buffering are the platform-tunable knobs the paper
+    describes. The same structure yields both a latency model (used by the
+    SoC simulation) and a buffer count (used by the resource estimator —
+    the "Interconnect" row of Table II). *)
+
+module Params : sig
+  type t = {
+    max_fanout : int;  (** max children per tree node *)
+    node_latency_cycles : int;  (** pipeline stages per buffer node *)
+    slr_crossing_latency_cycles : int;  (** per die crossing *)
+    clock_ps : int;  (** fabric clock period *)
+  }
+
+  val default : clock_ps:int -> t
+  (** fanout 4, 1 cycle per node, 4 cycles per SLR crossing. *)
+end
+
+type endpoint = { ep_id : int; ep_slr : int }
+type t
+
+val build : Params.t -> root_slr:int -> endpoints:endpoint list -> t
+(** Raises [Invalid_argument] on duplicate endpoint ids. An empty endpoint
+    list is legal (a design with no memory channels has an empty memory
+    fabric). *)
+
+(** {1 Structure} *)
+
+val n_endpoints : t -> int
+val n_buffers : t -> int
+(** Internal tree nodes, including SLR-crossing pipeline buffers. *)
+
+val n_slr_crossings : t -> int
+val depth_of : t -> ep_id:int -> int
+(** Hops (tree nodes traversed) from the root to the endpoint. *)
+
+val latency_cycles : t -> ep_id:int -> int
+(** One-way latency in fabric cycles. *)
+
+val latency_ps : t -> ep_id:int -> int
+val describe : t -> string
+(** Human-readable topology summary. *)
+
+(** {1 Messaging} *)
+
+val send :
+  t -> Desim.Engine.t -> ep_id:int -> ?payload_beats:int ->
+  (unit -> unit) -> unit
+(** Deliver a message from the root to [ep_id] (or vice versa — the tree is
+    symmetric): the callback fires after the one-way latency plus one cycle
+    per extra payload beat. *)
+
+val messages_sent : t -> int

@@ -1,0 +1,60 @@
+type cell = Bram | Uram | Lutram
+type choice = { cell : cell; count : int }
+
+let bram_bits = 36 * 1024
+let uram_bits = 288 * 1024
+let cdiv a b = ((a - 1) / b) + 1
+
+(* BRAM36 aspect ratios (width x depth). *)
+let bram_aspects = [ (72, 512); (36, 1024); (18, 2048); (9, 4096); (4, 8192); (2, 16384); (1, 32768) ]
+
+let brams_for ~width_bits ~depth =
+  if width_bits <= 0 || depth <= 0 then invalid_arg "Fpga_mem.brams_for";
+  List.fold_left
+    (fun best (w, d) ->
+      let n = cdiv width_bits w * cdiv depth d in
+      min best n)
+    max_int bram_aspects
+
+let urams_for ~width_bits ~depth =
+  if width_bits <= 0 || depth <= 0 then invalid_arg "Fpga_mem.urams_for";
+  cdiv width_bits 72 * cdiv depth 4096
+
+let preferred ~width_bits ~depth =
+  if width_bits * depth <= 1024 then { cell = Lutram; count = 0 }
+  else begin
+    let nb = brams_for ~width_bits ~depth in
+    let nu = urams_for ~width_bits ~depth in
+    (* compare by storage bits consumed; on a tie the URAM mapping wins
+       (fewer, denser cells) *)
+    if nu * uram_bits <= nb * bram_bits then { cell = Uram; count = nu }
+    else { cell = Bram; count = nb }
+  end
+
+let choose ~width_bits ~depth ~bram_used ~bram_avail ~uram_used ~uram_avail
+    ?(spill_threshold = 0.8) () =
+  let pref = preferred ~width_bits ~depth in
+  match pref.cell with
+  | Lutram -> pref
+  | _ ->
+      let frac used avail add =
+        if avail = 0 then infinity
+        else float_of_int (used + add) /. float_of_int avail
+      in
+      let nb = brams_for ~width_bits ~depth in
+      let nu = urams_for ~width_bits ~depth in
+      let bram_frac = frac bram_used bram_avail nb in
+      let uram_frac = frac uram_used uram_avail nu in
+      let alt =
+        match pref.cell with
+        | Bram -> { cell = Uram; count = nu }
+        | Uram | Lutram -> { cell = Bram; count = nb }
+      in
+      let pref_frac =
+        match pref.cell with Bram -> bram_frac | _ -> uram_frac
+      in
+      let alt_frac = match alt.cell with Bram -> bram_frac | _ -> uram_frac in
+      if pref_frac <= spill_threshold then pref
+      else if alt_frac <= spill_threshold then alt
+      else if pref_frac <= alt_frac then pref
+      else alt

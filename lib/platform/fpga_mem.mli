@@ -1,0 +1,40 @@
+(** On-chip memory cell mapping for UltraScale+ FPGAs.
+
+    Maps a (width × depth) memory request onto BRAM36 or URAM cells. The
+    composer tracks per-SLR utilization during elaboration and spills to the
+    other cell type once the preferred one exceeds the spill threshold
+    (80 % in the paper) — the mechanism behind Table II's mixed
+    BRAM/URAM Value scratchpads. *)
+
+type cell = Bram | Uram | Lutram
+
+val bram_bits : int (** 36 Kb *)
+
+val uram_bits : int (** 288 Kb *)
+
+val brams_for : width_bits:int -> depth:int -> int
+(** Minimum BRAM36 count over the supported aspect ratios
+    (72x512, 36x1024, 18x2048, 9x4096, ...). *)
+
+val urams_for : width_bits:int -> depth:int -> int
+(** URAMs are fixed 72 x 4096. *)
+
+type choice = { cell : cell; count : int }
+
+val preferred : width_bits:int -> depth:int -> choice
+(** Cheapest mapping by storage-bit cost, ignoring utilization. Requests of
+    at most 1 Kb map to LUTRAM. *)
+
+val choose :
+  width_bits:int ->
+  depth:int ->
+  bram_used:int ->
+  bram_avail:int ->
+  uram_used:int ->
+  uram_avail:int ->
+  ?spill_threshold:float ->
+  unit ->
+  choice
+(** The utilization-aware policy: take the preferred mapping unless it would
+    push that cell type past [spill_threshold] (default 0.8) of the SLR's
+    capacity while the alternative stays under it. *)

@@ -1,0 +1,77 @@
+type t = {
+  clb : int;
+  lut : int;
+  ff : int;
+  bram : int;
+  uram : int;
+  dsp : int;
+}
+
+let zero = { clb = 0; lut = 0; ff = 0; bram = 0; uram = 0; dsp = 0 }
+
+let make ?(clb = 0) ?(lut = 0) ?(ff = 0) ?(bram = 0) ?(uram = 0) ?(dsp = 0) () =
+  { clb; lut; ff; bram; uram; dsp }
+
+let add a b =
+  {
+    clb = a.clb + b.clb;
+    lut = a.lut + b.lut;
+    ff = a.ff + b.ff;
+    bram = a.bram + b.bram;
+    uram = a.uram + b.uram;
+    dsp = a.dsp + b.dsp;
+  }
+
+let sub a b =
+  {
+    clb = a.clb - b.clb;
+    lut = a.lut - b.lut;
+    ff = a.ff - b.ff;
+    bram = a.bram - b.bram;
+    uram = a.uram - b.uram;
+    dsp = a.dsp - b.dsp;
+  }
+
+let scale a k =
+  {
+    clb = a.clb * k;
+    lut = a.lut * k;
+    ff = a.ff * k;
+    bram = a.bram * k;
+    uram = a.uram * k;
+    dsp = a.dsp * k;
+  }
+
+let sum = List.fold_left add zero
+
+let fits a ~cap =
+  a.clb <= cap.clb && a.lut <= cap.lut && a.ff <= cap.ff && a.bram <= cap.bram
+  && a.uram <= cap.uram && a.dsp <= cap.dsp
+
+let utilization a ~cap =
+  let f used capacity = float_of_int used /. float_of_int capacity in
+  List.filter_map
+    (fun (name, used, capacity) ->
+      if capacity = 0 then None else Some (name, f used capacity))
+    [
+      ("CLB", a.clb, cap.clb);
+      ("LUT", a.lut, cap.lut);
+      ("FF", a.ff, cap.ff);
+      ("BRAM", a.bram, cap.bram);
+      ("URAM", a.uram, cap.uram);
+      ("DSP", a.dsp, cap.dsp);
+    ]
+
+let max_utilization a ~cap =
+  List.fold_left (fun acc (_, u) -> Float.max acc u) 0. (utilization a ~cap)
+
+let fmt_k n =
+  if n >= 10_000 then Printf.sprintf "%.0fK" (float_of_int n /. 1000.)
+  else if n >= 1_000 then Printf.sprintf "%.1fK" (float_of_int n /. 1000.)
+  else string_of_int n
+
+let to_row a = [ fmt_k a.clb; fmt_k a.lut; fmt_k a.ff; fmt_k a.bram; fmt_k a.uram ]
+
+let pp fmt a =
+  Format.fprintf fmt "{clb=%d lut=%d ff=%d bram=%d uram=%d dsp=%d}" a.clb a.lut
+    a.ff a.bram a.uram a.dsp

@@ -1,0 +1,27 @@
+(** FPGA/ASIC resource vectors (the units of Table II). *)
+
+type t = {
+  clb : int;
+  lut : int;
+  ff : int;
+  bram : int;  (** BRAM36 tiles *)
+  uram : int;
+  dsp : int;
+}
+
+val zero : t
+val make : ?clb:int -> ?lut:int -> ?ff:int -> ?bram:int -> ?uram:int -> ?dsp:int -> unit -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+(** May go negative; use {!fits} to check capacity. *)
+
+val scale : t -> int -> t
+val sum : t list -> t
+val fits : t -> cap:t -> bool
+val utilization : t -> cap:t -> (string * float) list
+(** Fraction used per resource class (skips classes with zero capacity). *)
+
+val max_utilization : t -> cap:t -> float
+val pp : Format.formatter -> t -> unit
+val to_row : t -> string list
+(** [clb; lut; ff; bram; uram] formatted with K-suffixes, for tables. *)

@@ -1,0 +1,77 @@
+type t = {
+  size : int;
+  alignment : int;
+  (* live allocations: base -> length (aligned) *)
+  live : (int, int) Hashtbl.t;
+  (* free list: sorted (base, length) *)
+  mutable free_list : (int * int) list;
+}
+
+let create ~size ?(alignment = 4096) () =
+  if size <= 0 then invalid_arg "Alloc.create: size";
+  if alignment <= 0 || alignment land (alignment - 1) <> 0 then
+    invalid_arg "Alloc.create: alignment must be a power of two";
+  { size; alignment; live = Hashtbl.create 64; free_list = [ (0, size) ] }
+
+let round_up t n = (n + t.alignment - 1) / t.alignment * t.alignment
+
+let alloc t n =
+  if n <= 0 then invalid_arg "Alloc.alloc: size";
+  let n = round_up t n in
+  let rec go acc = function
+    | [] -> None
+    | (base, len) :: rest ->
+        if len >= n then begin
+          let remaining =
+            if len = n then rest else (base + n, len - n) :: rest
+          in
+          t.free_list <- List.rev_append acc remaining;
+          Hashtbl.add t.live base n;
+          Some base
+        end
+        else go ((base, len) :: acc) rest
+  in
+  go [] t.free_list
+
+let free t base =
+  match Hashtbl.find_opt t.live base with
+  | None -> invalid_arg "Alloc.free: not an allocated base"
+  | Some len ->
+      Hashtbl.remove t.live base;
+      (* insert sorted and coalesce *)
+      let rec insert = function
+        | [] -> [ (base, len) ]
+        | (b, l) :: rest when base < b -> (base, len) :: (b, l) :: rest
+        | hd :: rest -> hd :: insert rest
+      in
+      let rec coalesce = function
+        | (b1, l1) :: (b2, l2) :: rest when b1 + l1 = b2 ->
+            coalesce ((b1, l1 + l2) :: rest)
+        | hd :: rest -> hd :: coalesce rest
+        | [] -> []
+      in
+      t.free_list <- coalesce (insert t.free_list)
+
+let allocated_bytes t = Hashtbl.fold (fun _ len acc -> acc + len) t.live 0
+let free_bytes t = List.fold_left (fun acc (_, l) -> acc + l) 0 t.free_list
+let n_blocks t = Hashtbl.length t.live
+
+let check_invariants t =
+  let blocks =
+    Hashtbl.fold (fun b l acc -> (b, l) :: acc) t.live []
+    @ t.free_list
+    |> List.sort compare
+  in
+  let rec no_overlap = function
+    | (b1, l1) :: ((b2, _) :: _ as rest) ->
+        b1 + l1 <= b2 && no_overlap rest
+    | _ -> true
+  in
+  let aligned =
+    Hashtbl.fold (fun b _ acc -> acc && b mod t.alignment = 0) t.live true
+  in
+  let total =
+    List.fold_left (fun acc (_, l) -> acc + l) 0 blocks = t.size
+  in
+  no_overlap blocks && aligned && total
+  && allocated_bytes t + free_bytes t = t.size

@@ -1,0 +1,29 @@
+(** Device-memory allocator.
+
+    The discrete-platform allocator of §II-C2: a first-fit free list over
+    the FPGA's physical address space, with all state held host-side so
+    separate host processes can share the device without conflicts. The
+    embedded flavour models hugepage-backed allocation in a shared address
+    space (same mechanics, different base/alignment). *)
+
+type t
+
+val create : size:int -> ?alignment:int -> unit -> t
+(** Default alignment 4096 (one hugepage-ish granule / AXI burst window). *)
+
+val alloc : t -> int -> int option
+(** First-fit allocation; [None] when no region fits. Returned addresses
+    are aligned and non-overlapping. *)
+
+val free : t -> int -> unit
+(** Free by base address; coalesces neighbours. Raises [Invalid_argument]
+    on a pointer that is not currently allocated. *)
+
+val allocated_bytes : t -> int
+val free_bytes : t -> int
+val n_blocks : t -> int
+(** Live allocations. *)
+
+val check_invariants : t -> bool
+(** No overlap, alignment respected, accounting consistent — used by the
+    property tests. *)

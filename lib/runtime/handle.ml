@@ -1,0 +1,197 @@
+module Soc = Beethoven.Soc
+module Rocc = Beethoven.Rocc
+module Cmd_spec = Beethoven.Cmd_spec
+
+let log_src = Logs.Src.create "beethoven.runtime" ~doc:"Host runtime events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type remote_ptr = { rp_addr : int; rp_bytes : int }
+
+type response_handle = {
+  mutable result : int64 option;
+  mutable waiters : (int64 -> unit) list;
+}
+
+type t = {
+  soc : Soc.t;
+  engine : Desim.Engine.t;
+  alloc : Alloc.t; (* discrete platforms: device address space *)
+  pagemap : Pagemap.t option; (* embedded platforms: the host OS's pages *)
+  huge_mappings : (int, Pagemap.mapping) Hashtbl.t; (* phys base -> mapping *)
+  host_buffers : (int, Bytes.t) Hashtbl.t; (* device addr -> host staging *)
+  server_op_ps : int;
+  mutable server_free_at : int;
+  mutable server_busy_ps : int;
+  mutable commands_sent : int;
+  mutable responses_received : int;
+}
+
+let create ?(server_op_ps = 1_500_000) soc =
+  let shared =
+    (Soc.platform soc).Platform.Device.host.Platform.Device
+    .shared_address_space
+  in
+  {
+    soc;
+    engine = Soc.engine soc;
+    alloc = Alloc.create ~size:(Soc.mem_size soc) ();
+    pagemap =
+      (if shared then
+         Some (Pagemap.create ~phys_bytes:(Soc.mem_size soc) ())
+       else None);
+    huge_mappings = Hashtbl.create 16;
+    host_buffers = Hashtbl.create 16;
+    server_op_ps;
+    server_free_at = 0;
+    server_busy_ps = 0;
+    commands_sent = 0;
+    responses_received = 0;
+  }
+
+let soc t = t.soc
+let engine t = t.engine
+
+(* One runtime-server operation: waits for the server lock, holds it for
+   the service time, then continues. *)
+let server_op t k =
+  let now = Desim.Engine.now t.engine in
+  let start = max now t.server_free_at in
+  let finish = start + t.server_op_ps in
+  t.server_free_at <- finish;
+  t.server_busy_ps <- t.server_busy_ps + t.server_op_ps;
+  Desim.Engine.schedule_at t.engine ~time:finish k
+
+let malloc t n =
+  match t.pagemap with
+  | Some pm ->
+      (* embedded: hugepage-backed so the physically-addressed fabric sees
+         one contiguous region (§II-C2); rp_addr is the physical base *)
+      let m = Pagemap.mmap pm ~hugepages:true n in
+      assert (Pagemap.physically_contiguous pm m);
+      let addr = Pagemap.translate pm m.Pagemap.vaddr in
+      Log.debug (fun f ->
+          f "malloc %d B -> hugepage phys 0x%x (virt 0x%x)" n addr
+            m.Pagemap.vaddr);
+      Hashtbl.replace t.huge_mappings addr m;
+      Hashtbl.replace t.host_buffers addr (Bytes.make n '\000');
+      { rp_addr = addr; rp_bytes = n }
+  | None -> (
+      match Alloc.alloc t.alloc n with
+      | None -> failwith "fpga_handle: device memory exhausted"
+      | Some addr ->
+          Hashtbl.replace t.host_buffers addr (Bytes.make n '\000');
+          { rp_addr = addr; rp_bytes = n })
+
+let mfree t ptr =
+  (match (t.pagemap, Hashtbl.find_opt t.huge_mappings ptr.rp_addr) with
+  | Some pm, Some m ->
+      Pagemap.munmap pm m;
+      Hashtbl.remove t.huge_mappings ptr.rp_addr
+  | _ -> Alloc.free t.alloc ptr.rp_addr);
+  Hashtbl.remove t.host_buffers ptr.rp_addr
+
+let host_bytes t ptr =
+  match Hashtbl.find_opt t.host_buffers ptr.rp_addr with
+  | Some b -> b
+  | None -> invalid_arg "fpga_handle: stale remote_ptr"
+
+let platform t = Soc.platform t.soc
+
+let dma_ps t bytes =
+  let host = (platform t).Platform.Device.host in
+  if host.Platform.Device.shared_address_space then
+    (* cache maintenance over the region: ~200 ps per line *)
+    bytes / 64 * 200
+  else
+    (* GB/s = bytes/ns, so time_ps = bytes / GBs * 1000 *)
+    host.Platform.Device.dma_setup_ps
+    + int_of_float
+        (float_of_int bytes /. host.Platform.Device.dma_bandwidth_gbs *. 1000.)
+
+let copy_to_fpga t ptr ~on_done =
+  let src = host_bytes t ptr in
+  Desim.Engine.schedule t.engine ~delay:(dma_ps t ptr.rp_bytes) (fun () ->
+      Soc.blit_in t.soc ~src ~dst_addr:ptr.rp_addr;
+      on_done ())
+
+let copy_from_fpga t ptr ~on_done =
+  Desim.Engine.schedule t.engine ~delay:(dma_ps t ptr.rp_bytes) (fun () ->
+      Soc.blit_out t.soc ~src_addr:ptr.rp_addr ~dst:(host_bytes t ptr);
+      on_done ())
+
+let resolve handle v =
+  handle.result <- Some v;
+  let ws = handle.waiters in
+  handle.waiters <- [];
+  List.iter (fun w -> w v) ws
+
+let send_raw t cmd =
+  let handle = { result = None; waiters = [] } in
+  t.commands_sent <- t.commands_sent + 1;
+  Log.debug (fun f ->
+      f "send sys=%d core=%d funct=%d" cmd.Rocc.system_id cmd.Rocc.core_id
+        cmd.Rocc.funct);
+  server_op t (fun () ->
+      Soc.send_command t.soc cmd ~on_response:(fun resp ->
+          (* the server polls the MMIO response queue; collection is
+             another serialized server operation *)
+          server_op t (fun () ->
+              t.responses_received <- t.responses_received + 1;
+              resolve handle resp.Rocc.resp_data)));
+  handle
+
+let system_index t name =
+  let systems =
+    (Soc.design t.soc).Beethoven.Elaborate.config.Beethoven.Config.systems
+  in
+  let rec go i = function
+    | [] -> invalid_arg ("fpga_handle: unknown system " ^ name)
+    | s :: rest ->
+        if s.Beethoven.Config.sys_name = name then i else go (i + 1) rest
+  in
+  go 0 systems
+
+let send t ~system ~core ~cmd ~args =
+  let pairs = Cmd_spec.pack cmd args in
+  let n = List.length pairs in
+  let sys_id = system_index t system in
+  let handles =
+    List.mapi
+      (fun i (p1, p2) ->
+        send_raw t
+          {
+            Rocc.system_id = sys_id;
+            core_id = core;
+            funct = cmd.Cmd_spec.cmd_funct;
+            expects_response = i = n - 1 && cmd.Cmd_spec.has_response;
+            payload1 = p1;
+            payload2 = p2;
+          })
+      pairs
+  in
+  (* the logical response is the last beat's *)
+  List.nth handles (n - 1)
+
+let try_get h = h.result
+
+let on_ready h k =
+  match h.result with
+  | Some v -> k v
+  | None -> h.waiters <- k :: h.waiters
+
+let await t h =
+  let module E = Desim.Engine in
+  let rec spin () =
+    match h.result with
+    | Some v -> v
+    | None ->
+        if E.step t.engine then spin ()
+        else failwith "fpga_handle.await: simulation drained with no response"
+  in
+  spin ()
+
+let await_all t hs = List.map (await t) hs
+let commands_sent t = t.commands_sent
+let responses_received t = t.responses_received
+let server_busy_ps t = t.server_busy_ps

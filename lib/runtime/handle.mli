@@ -1,0 +1,71 @@
+(** [fpga_handle_t] — the host-side entry point (Fig. 3c).
+
+    Wraps a simulated {!Beethoven.Soc} with the services of the Beethoven
+    software stack: the device-memory allocator, host↔device DMA (or
+    shared-address-space mapping on embedded platforms), and the
+    command/response path through the FPGA management runtime — a
+    userspace server that serializes access to the MMIO bus. Every command
+    submission and response collection occupies the server for a fixed
+    service time, so many short-latency commands contend on the server
+    lock; this is the effect behind the ideal-vs-measured gap in Fig. 6. *)
+
+type t
+
+type remote_ptr = { rp_addr : int; rp_bytes : int }
+
+val create : ?server_op_ps:int -> Beethoven.Soc.t -> t
+(** [server_op_ps] — runtime-server service time per MMIO operation
+    (default 1.5 µs, a syscall + a handful of MMIO accesses). *)
+
+val soc : t -> Beethoven.Soc.t
+val engine : t -> Desim.Engine.t
+
+(** {1 Memory} *)
+
+val malloc : t -> int -> remote_ptr
+(** Raises [Failure] when device memory is exhausted. *)
+
+val mfree : t -> remote_ptr -> unit
+val host_bytes : t -> remote_ptr -> Bytes.t
+(** The host-side staging buffer backing this allocation ([getHostAddr]).
+    On embedded platforms this aliases device memory semantics: copies
+    are free but still explicit in the API. *)
+
+val copy_to_fpga : t -> remote_ptr -> on_done:(unit -> unit) -> unit
+(** DMA host → device. Timing: setup + bytes / link bandwidth on discrete
+    platforms; a cache-maintenance-scale constant on embedded ones. *)
+
+val copy_from_fpga : t -> remote_ptr -> on_done:(unit -> unit) -> unit
+
+(** {1 Commands} *)
+
+type response_handle
+
+val send :
+  t ->
+  system:string ->
+  core:int ->
+  cmd:Beethoven.Cmd_spec.command ->
+  args:(string * int64) list ->
+  response_handle
+(** Pack the arguments per the command spec and submit all RoCC beats
+    through the runtime server. *)
+
+val send_raw : t -> Beethoven.Rocc.t -> response_handle
+
+val try_get : response_handle -> int64 option
+val on_ready : response_handle -> (int64 -> unit) -> unit
+
+val await : t -> response_handle -> int64
+(** Run the simulation until the response arrives ([response_handle::get]).
+    Raises [Failure] if the simulation drains without a response. *)
+
+val await_all : t -> response_handle list -> int64 list
+
+(** {1 Statistics} *)
+
+val commands_sent : t -> int
+val responses_received : t -> int
+val server_busy_ps : t -> int
+(** Total time the runtime server spent servicing operations — the
+    contention metric. *)

@@ -1,0 +1,148 @@
+type size = int
+
+type a_msg =
+  | Get of { source : int; address : int; size : size }
+  | Put_full of { source : int; address : int; size : size }
+
+type d_msg =
+  | Access_ack of { source : int; size : size }
+  | Access_ack_data of { source : int; size : size }
+
+let bus_bytes = 64
+let max_size = 12
+let source_bits = 8
+let addr_bits = 48
+let size_bits = 4
+
+let check_a msg =
+  let source, address, size =
+    match msg with
+    | Get { source; address; size } | Put_full { source; address; size } ->
+        (source, address, size)
+  in
+  if size < 0 || size > max_size then
+    Error (Printf.sprintf "size 2^%d out of bounds" size)
+  else if source < 0 || source >= 1 lsl source_bits then
+    Error "source id out of range"
+  else if address < 0 then Error "negative address"
+  else if address mod (1 lsl size) <> 0 then
+    Error
+      (Printf.sprintf "address 0x%x not aligned to its 2^%d size" address size)
+  else Ok ()
+
+let data_beats size =
+  let bytes = 1 lsl size in
+  max 1 ((bytes + bus_bytes - 1) / bus_bytes)
+
+(* A-channel header: opcode(3) :: source(8) :: size(4) :: address(48) *)
+let a_width = 3 + source_bits + size_bits + addr_bits
+let d_width = 3 + source_bits + size_bits
+
+let a_opcode = function Put_full _ -> 0 (* PutFullData *) | Get _ -> 4
+
+let encode_a msg =
+  (match check_a msg with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Tilelink.encode_a: " ^ e));
+  let source, address, size =
+    match msg with
+    | Get { source; address; size } | Put_full { source; address; size } ->
+        (source, address, size)
+  in
+  Bits.concat_list
+    [
+      Bits.of_int ~width:3 (a_opcode msg);
+      Bits.of_int ~width:source_bits source;
+      Bits.of_int ~width:size_bits size;
+      Bits.of_int ~width:addr_bits address;
+    ]
+
+let decode_a b =
+  if Bits.width b <> a_width then invalid_arg "Tilelink.decode_a: width";
+  let hi = a_width - 1 in
+  let opcode = Bits.to_int (Bits.slice b ~hi ~lo:(hi - 2)) in
+  let source =
+    Bits.to_int (Bits.slice b ~hi:(hi - 3) ~lo:(hi - 2 - source_bits))
+  in
+  let size =
+    Bits.to_int
+      (Bits.slice b
+         ~hi:(hi - 3 - source_bits)
+         ~lo:(hi - 2 - source_bits - size_bits))
+  in
+  let address = Bits.to_int (Bits.slice b ~hi:(addr_bits - 1) ~lo:0) in
+  match opcode with
+  | 0 -> Put_full { source; address; size }
+  | 4 -> Get { source; address; size }
+  | n -> invalid_arg (Printf.sprintf "Tilelink.decode_a: opcode %d" n)
+
+let d_opcode = function Access_ack _ -> 0 | Access_ack_data _ -> 1
+
+let encode_d msg =
+  let source, size =
+    match msg with
+    | Access_ack { source; size } | Access_ack_data { source; size } ->
+        (source, size)
+  in
+  Bits.concat_list
+    [
+      Bits.of_int ~width:3 (d_opcode msg);
+      Bits.of_int ~width:source_bits source;
+      Bits.of_int ~width:size_bits size;
+    ]
+
+let decode_d b =
+  if Bits.width b <> d_width then invalid_arg "Tilelink.decode_d: width";
+  let hi = d_width - 1 in
+  let opcode = Bits.to_int (Bits.slice b ~hi ~lo:(hi - 2)) in
+  let source =
+    Bits.to_int (Bits.slice b ~hi:(hi - 3) ~lo:(hi - 2 - source_bits))
+  in
+  let size = Bits.to_int (Bits.slice b ~hi:(size_bits - 1) ~lo:0) in
+  match opcode with
+  | 0 -> Access_ack { source; size }
+  | 1 -> Access_ack_data { source; size }
+  | n -> invalid_arg (Printf.sprintf "Tilelink.decode_d: opcode %d" n)
+
+module To_axi = struct
+  type t = {
+    axi : Axi.t;
+    busy : (int, unit) Hashtbl.t; (* outstanding sources *)
+  }
+
+  let create engine axi =
+    ignore (engine : Desim.Engine.t);
+    { axi; busy = Hashtbl.create 16 }
+  let outstanding t = Hashtbl.length t.busy
+
+  let request t msg ~on_d =
+    (match check_a msg with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("Tilelink.To_axi.request: " ^ e));
+    let source, address, size =
+      match msg with
+      | Get { source; address; size } | Put_full { source; address; size } ->
+          (source, address, size)
+    in
+    if Hashtbl.mem t.busy source then
+      invalid_arg "Tilelink.To_axi.request: source already outstanding";
+    Hashtbl.add t.busy source ();
+    let prm = Axi.params t.axi in
+    let bytes = max (1 lsl size) prm.Axi.Params.data_bytes in
+    let beats = bytes / prm.Axi.Params.data_bytes in
+    let id = source mod prm.Axi.Params.n_ids in
+    let finish d =
+      Hashtbl.remove t.busy source;
+      on_d d
+    in
+    (* align the AXI access down to the beat grid *)
+    let addr = address - (address mod prm.Axi.Params.data_bytes) in
+    match msg with
+    | Get _ ->
+        Axi.read t.axi ~id ~addr ~beats
+          ~on_beat:(fun ~beat:_ -> ())
+          ~on_done:(fun () -> finish (Access_ack_data { source; size }))
+    | Put_full _ ->
+        Axi.write t.axi ~id ~addr ~beats ~on_done:(fun () ->
+            finish (Access_ack { source; size }))
+end

@@ -1,0 +1,61 @@
+(** TileLink (UL/UH subset) — the protocol of Beethoven's memory NoC.
+
+    §II-A: Reader/Writer access points "are routed through a TileLink
+    network-on-chip to an external memory controller". This module
+    implements the protocol layer of that statement: channel-A requests
+    (Get / PutFullData), channel-D responses (AccessAck / AccessAckData),
+    their TileLink rules (power-of-two sizes, size-aligned addresses,
+    per-source response ordering, one outstanding request per source), a
+    beat-level wire serialization for transporting messages through the
+    tree fabric, and an adapter that terminates TileLink at the AXI memory
+    port. *)
+
+type size = int
+(** log2 of the transfer size in bytes. *)
+
+type a_msg =
+  | Get of { source : int; address : int; size : size }
+  | Put_full of { source : int; address : int; size : size }
+      (** data travels as beats on the wire; contents live in the SoC
+          memory model, as everywhere in this library *)
+
+type d_msg =
+  | Access_ack of { source : int; size : size }
+  | Access_ack_data of { source : int; size : size }
+
+val bus_bytes : int (** 64: matches the 512-bit fabric *)
+
+val max_size : size (** 12: 4 KB, one AXI-legal burst *)
+
+val check_a : a_msg -> (unit, string) result
+(** TileLink rules: size within bounds, address aligned to the size. *)
+
+val data_beats : size -> int
+(** Beats on a [bus_bytes] wire (1 for transfers <= one beat). *)
+
+(** {1 Wire form} *)
+
+val encode_a : a_msg -> Bits.t
+val decode_a : Bits.t -> a_msg
+val encode_d : d_msg -> Bits.t
+val decode_d : Bits.t -> d_msg
+val a_width : int
+val d_width : int
+
+(** {1 AXI termination} *)
+
+module To_axi : sig
+  type t
+
+  val create : Desim.Engine.t -> Axi.t -> t
+
+  val request : t -> a_msg -> on_d:(d_msg -> unit) -> unit
+  (** Issue a channel-A message; the channel-D response arrives via
+      [on_d] when the memory system completes it. Raises
+      [Invalid_argument] on a protocol violation or when the source
+      already has a request outstanding (TL-UL: one per source). The
+      TileLink source id maps onto an AXI ID, so distinct sources enjoy
+      the same memory-level parallelism Readers get from TLP. *)
+
+  val outstanding : t -> int
+end

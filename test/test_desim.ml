@@ -1,0 +1,219 @@
+(* Tests for the discrete-event engine, channels, and statistics. *)
+
+module E = Desim.Engine
+module C = Desim.Channel
+module S = Desim.Stats
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_event_order () =
+  let e = E.create () in
+  let log = ref [] in
+  E.schedule e ~delay:5 (fun () -> log := 5 :: !log);
+  E.schedule e ~delay:1 (fun () -> log := 1 :: !log);
+  E.schedule e ~delay:3 (fun () -> log := 3 :: !log);
+  E.run e;
+  Alcotest.(check (list int)) "fires in time order" [ 1; 3; 5 ] (List.rev !log);
+  check_int "clock at last event" 5 (E.now e)
+
+let test_same_time_fifo () =
+  let e = E.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    E.schedule e ~delay:7 (fun () -> log := i :: !log)
+  done;
+  E.run e;
+  Alcotest.(check (list int))
+    "same-tick events keep scheduling order"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_nested_scheduling () =
+  let e = E.create () in
+  let hits = ref 0 in
+  let rec chain n =
+    if n > 0 then
+      E.schedule e ~delay:2 (fun () ->
+          incr hits;
+          chain (n - 1))
+  in
+  chain 10;
+  E.run e;
+  check_int "chain completes" 10 !hits;
+  check_int "clock advanced by 2 each" 20 (E.now e)
+
+let test_run_until () =
+  let e = E.create () in
+  let hits = ref 0 in
+  for i = 1 to 10 do
+    E.schedule e ~delay:(i * 10) (fun () -> incr hits)
+  done;
+  E.run ~until:45 e;
+  check_int "only events <= 45" 4 !hits;
+  check_int "clock parked at limit" 45 (E.now e);
+  E.run e;
+  check_int "rest fire later" 10 !hits
+
+let test_schedule_past_rejected () =
+  let e = E.create () in
+  E.schedule e ~delay:10 (fun () -> ());
+  E.run e;
+  Alcotest.check_raises "past time"
+    (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
+      E.schedule_at e ~time:5 (fun () -> ()))
+
+let test_heap_stress () =
+  (* Push events with pseudo-random times, check they fire sorted. *)
+  let e = E.create () in
+  let seed = ref 12345 in
+  let next () =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !seed mod 10_000
+  in
+  let fired = ref [] in
+  for _ = 1 to 2000 do
+    let t = next () in
+    E.schedule e ~delay:t (fun () -> fired := t :: !fired)
+  done;
+  E.run e;
+  let fired = List.rev !fired in
+  check_int "all fired" 2000 (List.length fired);
+  check_bool "sorted" true
+    (fst
+       (List.fold_left
+          (fun (ok, prev) t -> (ok && t >= prev, t))
+          (true, 0) fired))
+
+let test_channel_basic () =
+  let e = E.create () in
+  let ch = C.create e ~capacity:2 in
+  let got = ref [] in
+  C.send ch 1 ~on_accept:ignore;
+  C.send ch 2 ~on_accept:ignore;
+  C.recv ch (fun v -> got := v :: !got);
+  C.recv ch (fun v -> got := v :: !got);
+  E.run e;
+  Alcotest.(check (list int)) "fifo order" [ 1; 2 ] (List.rev !got)
+
+let test_channel_backpressure () =
+  let e = E.create () in
+  let ch = C.create e ~capacity:1 in
+  let accepted = ref [] in
+  C.send ch 1 ~on_accept:(fun () -> accepted := 1 :: !accepted);
+  C.send ch 2 ~on_accept:(fun () -> accepted := 2 :: !accepted);
+  E.run e;
+  Alcotest.(check (list int)) "second blocked" [ 1 ] (List.rev !accepted);
+  check_bool "try_send full" false (C.try_send ch 3);
+  let got = ref (-1) in
+  C.recv ch (fun v -> got := v);
+  E.run e;
+  check_int "first delivered" 1 !got;
+  Alcotest.(check (list int)) "second admitted after drain" [ 1; 2 ]
+    (List.rev !accepted)
+
+let test_channel_pending_recv () =
+  let e = E.create () in
+  let ch = C.create e ~capacity:4 in
+  let got = ref [] in
+  (* receivers arrive before any data *)
+  C.recv ch (fun v -> got := v :: !got);
+  C.recv ch (fun v -> got := v :: !got);
+  E.run e;
+  check_int "nothing yet" 0 (List.length !got);
+  C.send ch 10 ~on_accept:ignore;
+  C.send ch 20 ~on_accept:ignore;
+  E.run e;
+  Alcotest.(check (list int)) "served in order" [ 10; 20 ] (List.rev !got)
+
+let test_channel_try_ops () =
+  let e = E.create () in
+  let ch = C.create e ~capacity:2 in
+  Alcotest.(check (option int)) "empty" None (C.try_recv ch);
+  check_bool "send ok" true (C.try_send ch 42);
+  Alcotest.(check (option int)) "peek" (Some 42) (C.peek ch);
+  Alcotest.(check (option int)) "recv" (Some 42) (C.try_recv ch);
+  check_int "occupancy back to 0" 0 (C.occupancy ch)
+
+let test_stats () =
+  let c = S.counter () in
+  S.incr c;
+  S.incr ~by:4 c;
+  check_int "counter" 5 (S.count c);
+  let s = S.series () in
+  List.iter (S.observe s) [ 1.0; 2.0; 3.0 ];
+  let sum = S.summarize s in
+  check_int "n" 3 sum.S.n;
+  Alcotest.(check (float 1e-9)) "mean" 2.0 sum.S.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 sum.S.min;
+  Alcotest.(check (float 1e-9)) "max" 3.0 sum.S.max;
+  let h = S.histogram ~bucket_width:10. in
+  List.iter (S.record h) [ 1.; 5.; 11.; 25. ];
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "buckets"
+    [ (0., 2); (10., 1); (20., 1) ]
+    (S.buckets h);
+  let b = S.busy_tracker () in
+  S.mark_busy b ~from_:0 ~until:10;
+  S.mark_busy b ~from_:20 ~until:25;
+  check_int "busy time" 15 (S.busy_time b);
+  Alcotest.(check (float 1e-9)) "utilization" 0.15 (S.utilization b ~total:100)
+
+let prop name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:100 ~name arb f)
+
+let props =
+  [
+    prop "events always fire in nondecreasing time order"
+      QCheck.(list_of_size Gen.(1 -- 200) (int_bound 1000))
+      (fun delays ->
+        let e = E.create () in
+        let fired = ref [] in
+        List.iter
+          (fun d -> E.schedule e ~delay:d (fun () -> fired := E.now e :: !fired))
+          delays;
+        E.run e;
+        let fired = List.rev !fired in
+        List.length fired = List.length delays
+        && fst
+             (List.fold_left
+                (fun (ok, prev) t -> (ok && t >= prev, t))
+                (true, 0) fired));
+    prop "channel preserves fifo order under interleaving"
+      QCheck.(list_of_size Gen.(1 -- 100) (int_bound 1_000_000))
+      (fun items ->
+        let e = E.create () in
+        let ch = C.create e ~capacity:3 in
+        let got = ref [] in
+        List.iteri
+          (fun i v ->
+            E.schedule e ~delay:i (fun () -> C.send ch v ~on_accept:ignore);
+            E.schedule e ~delay:(i + 1) (fun () ->
+                C.recv ch (fun v -> got := v :: !got)))
+          items;
+        E.run e;
+        List.rev !got = items);
+  ]
+
+let () =
+  Alcotest.run "desim"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "event order" `Quick test_event_order;
+          Alcotest.test_case "same-time fifo" `Quick test_same_time_fifo;
+          Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "past rejected" `Quick test_schedule_past_rejected;
+          Alcotest.test_case "heap stress" `Quick test_heap_stress;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "basic" `Quick test_channel_basic;
+          Alcotest.test_case "backpressure" `Quick test_channel_backpressure;
+          Alcotest.test_case "pending recv" `Quick test_channel_pending_recv;
+          Alcotest.test_case "try ops" `Quick test_channel_try_ops;
+        ] );
+      ("stats", [ Alcotest.test_case "stats" `Quick test_stats ]);
+      ("properties", props);
+    ]

@@ -1,0 +1,189 @@
+(* DRAM timing model: protocol-level invariants, row-hit behaviour, bus
+   saturation, and turnaround penalties. *)
+
+module E = Desim.Engine
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk ?(cfg = Dram.Config.ddr4_2400) () =
+  let e = E.create () in
+  (e, Dram.create e cfg)
+
+let test_config_sanity () =
+  let c = Dram.Config.ddr4_2400 in
+  check_int "burst bytes (x64 BL8)" 64 (Dram.Config.burst_bytes c);
+  Alcotest.(check (float 0.1))
+    "peak ~19.2 GB/s" 19.2
+    (Dram.Config.peak_bandwidth_gbs c);
+  Alcotest.(check (float 0.5))
+    "quad channel ~76.9" 76.9
+    (Dram.Config.peak_bandwidth_gbs Dram.Config.ddr4_2400_quad)
+
+let test_single_burst_latency () =
+  let e, d = mk () in
+  let done_at = ref 0 in
+  Dram.submit d ~addr:0 ~bytes:64 ~dir:Dram.Read
+    ~on_complete:(fun () -> done_at := E.now e)
+    ();
+  E.run e;
+  (* cold access: tRCD + CL + tBURST = (17+17+4) * 833 ps *)
+  let expect = (17 + 17 + 4) * 833 in
+  check_int "cold read latency" expect !done_at
+
+let test_row_hit_faster_than_miss () =
+  let e, d = mk () in
+  let t_hit = ref 0 and t_miss = ref 0 in
+  (* revisit bank 0 in the same row: sequential bursts interleave banks,
+     so the next bank-0 burst is n_banks bursts later *)
+  Dram.submit d ~addr:0 ~bytes:64 ~dir:Dram.Read ~on_complete:ignore ();
+  Dram.submit d ~addr:(64 * 16) ~bytes:64 ~dir:Dram.Read
+    ~on_complete:(fun () -> t_hit := E.now e)
+    ();
+  E.run e;
+  let e2, d2 = mk () in
+  Dram.submit d2 ~addr:0 ~bytes:64 ~dir:Dram.Read ~on_complete:ignore ();
+  (* same bank, different row: force a precharge+activate *)
+  let cfg = Dram.config d2 in
+  let row_stride =
+    Dram.Config.burst_bytes cfg * cfg.Dram.Config.n_banks
+    * (cfg.Dram.Config.row_bytes / Dram.Config.burst_bytes cfg)
+    * cfg.Dram.Config.n_channels
+  in
+  Dram.submit d2 ~addr:row_stride ~bytes:64 ~dir:Dram.Read
+    ~on_complete:(fun () -> t_miss := E.now e2)
+    ();
+  E.run e2;
+  check_bool "hit faster than miss" true (!t_hit < !t_miss);
+  check_int "one hit recorded" 1 (Dram.row_hits d);
+  check_int "two misses recorded" 2 (Dram.row_misses d2)
+
+let test_streaming_bandwidth () =
+  let e, d = mk () in
+  (* 1 MB sequential read *)
+  Dram.submit d ~addr:0 ~bytes:(1 lsl 20) ~dir:Dram.Read
+    ~on_complete:ignore ();
+  E.run e;
+  let bw = Dram.achieved_bandwidth_gbs d in
+  check_bool "within 15% of peak" true (bw > 19.2 *. 0.85);
+  check_int "read bytes accounted" (1 lsl 20) (Dram.bytes_read d)
+
+let test_turnaround_penalty () =
+  (* alternating read/write bursts must be slower than all-reads *)
+  let run dirs =
+    let e, d = mk () in
+    List.iteri
+      (fun i dir ->
+        Dram.submit d ~addr:(i * 64) ~bytes:64 ~dir ~on_complete:ignore ())
+      dirs;
+    E.run e;
+    Dram.achieved_bandwidth_gbs d
+  in
+  let n = 64 in
+  let all_reads = run (List.init n (fun _ -> Dram.Read)) in
+  let alternating =
+    run (List.init n (fun i -> if i mod 2 = 0 then Dram.Read else Dram.Write))
+  in
+  check_bool "turnaround costs bandwidth" true (alternating < all_reads)
+
+let test_channel_interleave () =
+  (* the same stream over 4 channels must finish ~4x faster *)
+  let time cfg =
+    let e, d = mk ~cfg () in
+    let finish = ref 0 in
+    Dram.submit d ~addr:0 ~bytes:(1 lsl 19) ~dir:Dram.Write
+      ~on_complete:(fun () -> finish := E.now e)
+      ();
+    E.run e;
+    !finish
+  in
+  let t1 = time Dram.Config.ddr4_2400 in
+  let t4 = time Dram.Config.ddr4_2400_quad in
+  check_bool "4 channels ~4x faster" true
+    (float_of_int t1 /. float_of_int t4 > 3.0)
+
+let test_chunk_ordering () =
+  let e, d = mk () in
+  let chunks = ref [] in
+  Dram.submit d ~addr:0 ~bytes:1024 ~dir:Dram.Read
+    ~on_chunk:(fun ~chunk -> chunks := (chunk, E.now e) :: !chunks)
+    ~on_complete:ignore ();
+  E.run e;
+  let chunks = List.rev !chunks in
+  check_int "16 chunks for 1KB" 16 (List.length chunks);
+  let indices = List.map fst chunks and times = List.map snd chunks in
+  check_bool "indices in order" true
+    (indices = List.init 16 (fun i -> i));
+  check_bool "times nondecreasing" true
+    (fst
+       (List.fold_left
+          (fun (ok, prev) t -> (ok && t >= prev, t))
+          (true, 0) times))
+
+let test_bad_request_rejected () =
+  let _, d = mk () in
+  Alcotest.check_raises "zero bytes"
+    (Invalid_argument "Dram.submit: bytes must be positive") (fun () ->
+      Dram.submit d ~addr:0 ~bytes:0 ~dir:Dram.Read ~on_complete:ignore ())
+
+(* properties *)
+
+let prop name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:60 ~name arb f)
+
+let props =
+  [
+    prop "per-request chunks complete in order, completion = last chunk"
+      QCheck.(list_of_size Gen.(1 -- 20) (pair (int_bound 100_000) (1 -- 4096)))
+      (fun reqs ->
+        let e, d = mk () in
+        let ok = ref true in
+        List.iter
+          (fun (addr, bytes) ->
+            let last = ref (-1) in
+            let completed = ref false in
+            Dram.submit d ~addr:(addr * 64) ~bytes ~dir:Dram.Read
+              ~on_chunk:(fun ~chunk ->
+                if chunk <> !last + 1 then ok := false;
+                last := chunk;
+                if !completed then ok := false)
+              ~on_complete:(fun () -> completed := true)
+              ();
+            ignore completed)
+          reqs;
+        E.run e;
+        !ok);
+    prop "traffic accounting matches requests (rounded to bursts)"
+      QCheck.(list_of_size Gen.(1 -- 15) (pair bool (1 -- 2000)))
+      (fun reqs ->
+        let e, d = mk () in
+        let expect_r = ref 0 and expect_w = ref 0 in
+        List.iteri
+          (fun i (is_read, bytes) ->
+            let chunks = ((bytes - 1) / 64) + 1 in
+            if is_read then expect_r := !expect_r + (chunks * 64)
+            else expect_w := !expect_w + (chunks * 64);
+            Dram.submit d ~addr:(i * 8192) ~bytes
+              ~dir:(if is_read then Dram.Read else Dram.Write)
+              ~on_complete:ignore ())
+          reqs;
+        E.run e;
+        Dram.bytes_read d = !expect_r && Dram.bytes_written d = !expect_w);
+  ]
+
+let () =
+  Alcotest.run "dram"
+    [
+      ( "timing",
+        [
+          Alcotest.test_case "config" `Quick test_config_sanity;
+          Alcotest.test_case "single burst" `Quick test_single_burst_latency;
+          Alcotest.test_case "row hit vs miss" `Quick test_row_hit_faster_than_miss;
+          Alcotest.test_case "streaming bandwidth" `Quick test_streaming_bandwidth;
+          Alcotest.test_case "turnaround" `Quick test_turnaround_penalty;
+          Alcotest.test_case "channel interleave" `Quick test_channel_interleave;
+          Alcotest.test_case "chunk order" `Quick test_chunk_ordering;
+          Alcotest.test_case "bad request" `Quick test_bad_request_rejected;
+        ] );
+      ("properties", props);
+    ]

@@ -1,0 +1,639 @@
+(* Extension features: the FIFO generator, signed-arithmetic DSL helpers,
+   A3's RTL dot-product stage, DRAM refresh, the page-table model, strided
+   Reader streams, and the ASIC/test-chip platform entries. *)
+
+module B = Beethoven
+module D = Platform.Device
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- Signal.sext / repeat ---- *)
+
+let test_sext_repeat () =
+  let open Hw.Signal in
+  let a = input "a" 4 in
+  let sim =
+    Hw.Cyclesim.create
+      (Hw.Circuit.create ~name:"t"
+         ~outputs:[ ("sx", sext a 8); ("rp", repeat a 3) ])
+  in
+  Hw.Cyclesim.set_input_int sim "a" 0b1010;
+  check_int "sign extended" 0b11111010 (Hw.Cyclesim.output_int sim "sx");
+  check_int "repeated" 0b1010_1010_1010 (Hw.Cyclesim.output_int sim "rp");
+  Hw.Cyclesim.set_input_int sim "a" 0b0101;
+  check_int "positive sext" 0b0101 (Hw.Cyclesim.output_int sim "sx")
+
+(* ---- FIFO generator ---- *)
+
+let mk_fifo depth =
+  let open Hw.Signal in
+  let f = Hw.Fifo.create ~depth ~width:8 () in
+  let enq_valid = input "enq_valid" 1 in
+  let enq_data = input "enq_data" 8 in
+  let deq_ready = input "deq_ready" 1 in
+  assign f.Hw.Fifo.enq_valid enq_valid;
+  assign f.Hw.Fifo.enq_data enq_data;
+  assign f.Hw.Fifo.deq_ready deq_ready;
+  let c =
+    Hw.Circuit.create ~name:"fifo_tb"
+      ~outputs:
+        [
+          ("enq_ready", f.Hw.Fifo.enq_ready);
+          ("deq_valid", f.Hw.Fifo.deq_valid);
+          ("deq_data", f.Hw.Fifo.deq_data);
+          ("occupancy", f.Hw.Fifo.occupancy);
+        ]
+  in
+  Hw.Cyclesim.create c
+
+let test_fifo_fill_drain () =
+  let sim = mk_fifo 4 in
+  let set = Hw.Cyclesim.set_input_int sim in
+  set "deq_ready" 0;
+  (* fill to capacity *)
+  List.iteri
+    (fun i v ->
+      set "enq_valid" 1;
+      set "enq_data" v;
+      check_int (Printf.sprintf "ready while filling %d" i) 1
+        (Hw.Cyclesim.output_int sim "enq_ready");
+      Hw.Cyclesim.step sim)
+    [ 11; 22; 33; 44 ];
+  check_int "full: not ready" 0 (Hw.Cyclesim.output_int sim "enq_ready");
+  check_int "occupancy 4" 4 (Hw.Cyclesim.output_int sim "occupancy");
+  set "enq_valid" 0;
+  (* drain in order *)
+  set "deq_ready" 1;
+  List.iter
+    (fun v ->
+      check_int "valid while draining" 1
+        (Hw.Cyclesim.output_int sim "deq_valid");
+      check_int "fifo order" v (Hw.Cyclesim.output_int sim "deq_data");
+      Hw.Cyclesim.step sim)
+    [ 11; 22; 33; 44 ];
+  check_int "empty" 0 (Hw.Cyclesim.output_int sim "deq_valid")
+
+let test_fifo_bad_depth () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Fifo.create: depth must be a power of two >= 2")
+    (fun () -> ignore (Hw.Fifo.create ~depth:6 ~width:8 ()))
+
+let prop_fifo =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"fifo matches a queue model"
+       QCheck.(list_of_size Gen.(1 -- 120) (pair bool (int_bound 255)))
+       (fun ops ->
+         let sim = mk_fifo 8 in
+         let set = Hw.Cyclesim.set_input_int sim in
+         let model = Queue.create () in
+         let ok = ref true in
+         List.iter
+           (fun (is_enq, v) ->
+             if is_enq then begin
+               set "deq_ready" 0;
+               set "enq_valid" 1;
+               set "enq_data" v;
+               Hw.Cyclesim.settle sim;
+               let accepted = Hw.Cyclesim.output_int sim "enq_ready" = 1 in
+               if accepted <> (Queue.length model < 8) then ok := false;
+               if accepted then Queue.push v model
+             end
+             else begin
+               set "enq_valid" 0;
+               set "deq_ready" 1;
+               Hw.Cyclesim.settle sim;
+               let valid = Hw.Cyclesim.output_int sim "deq_valid" = 1 in
+               if valid <> not (Queue.is_empty model) then ok := false;
+               if valid then begin
+                 let got = Hw.Cyclesim.output_int sim "deq_data" in
+                 if got <> Queue.pop model then ok := false
+               end
+             end;
+             Hw.Cyclesim.step sim;
+             if
+               Hw.Cyclesim.output_int sim "occupancy" <> Queue.length model
+             then ok := false)
+           ops;
+         !ok))
+
+(* ---- netlist optimization ---- *)
+
+let test_constant_fold_shrinks () =
+  let open Hw.Signal in
+  let a = input "a" 8 in
+  (* (a + (2*3)) & 0xFF-of-zero-or  -- plenty of foldable structure *)
+  let k = of_int ~width:8 2 *: of_int ~width:8 3 in
+  let z = zero 8 &: of_int ~width:8 0xAA in
+  let out = a +: k |: z in
+  let c = Hw.Circuit.create ~name:"f" ~outputs:[ ("o", out) ] in
+  let folded = Hw.Opt.constant_fold c in
+  check_bool "fewer nodes" true (Hw.Opt.node_count folded < Hw.Opt.node_count c);
+  (* behaviourally identical *)
+  let s1 = Hw.Cyclesim.create c and s2 = Hw.Cyclesim.create folded in
+  List.iter
+    (fun v ->
+      Hw.Cyclesim.set_input_int s1 "a" v;
+      Hw.Cyclesim.set_input_int s2 "a" v;
+      check_int "same output" (Hw.Cyclesim.output_int s1 "o")
+        (Hw.Cyclesim.output_int s2 "o"))
+    [ 0; 1; 77; 255 ]
+
+let test_constant_fold_mux_and_reg () =
+  let open Hw.Signal in
+  let a = input "a" 8 in
+  (* constant selector mux collapses; always-enabled register loses its
+     enable; the counter feedback survives the rebuild *)
+  let chosen = mux (of_int ~width:2 1) [ zero 8; a; of_int ~width:8 9 ] in
+  let q = reg ~enable:vdd chosen in
+  let count = reg_fb ~width:8 (fun c -> c +: of_int ~width:8 1) in
+  let c =
+    Hw.Circuit.create ~name:"fr" ~outputs:[ ("q", q); ("count", count) ]
+  in
+  let folded = Hw.Opt.constant_fold c in
+  check_bool "shrinks" true (Hw.Opt.node_count folded < Hw.Opt.node_count c);
+  let s1 = Hw.Cyclesim.create c and s2 = Hw.Cyclesim.create folded in
+  for step = 1 to 20 do
+    let v = (step * 37) land 0xFF in
+    Hw.Cyclesim.set_input_int s1 "a" v;
+    Hw.Cyclesim.set_input_int s2 "a" v;
+    Hw.Cyclesim.step s1;
+    Hw.Cyclesim.step s2;
+    check_int "reg matches" (Hw.Cyclesim.output_int s1 "q")
+      (Hw.Cyclesim.output_int s2 "q");
+    check_int "counter matches" (Hw.Cyclesim.output_int s1 "count")
+      (Hw.Cyclesim.output_int s2 "count")
+  done
+
+let prop_fold_equiv =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40
+       ~name:"folding the A3 stage-2 circuit preserves behaviour"
+       QCheck.(list_of_size Gen.(1 -- 30) (int_bound 100_000))
+       (fun scores ->
+         let c = Attention.A3_rtl.stage2_circuit () in
+         let folded = Hw.Opt.constant_fold c in
+         let s1 = Hw.Cyclesim.create c and s2 = Hw.Cyclesim.create folded in
+         let drive sim name v = Hw.Cyclesim.set_input sim name v in
+         let ok = ref true in
+         List.iter
+           (fun sim ->
+             drive sim "max_score" (Bits.of_int ~width:24 100_000);
+             Hw.Cyclesim.set_input_int sim "clear" 1;
+             Hw.Cyclesim.set_input_int sim "score_valid" 0;
+             drive sim "score" (Bits.zero 24);
+             Hw.Cyclesim.step sim;
+             Hw.Cyclesim.set_input_int sim "clear" 0)
+           [ s1; s2 ];
+         List.iter
+           (fun sc ->
+             List.iter
+               (fun sim ->
+                 Hw.Cyclesim.set_input_int sim "score_valid" 1;
+                 drive sim "score" (Bits.of_int ~width:24 sc);
+                 Hw.Cyclesim.step sim)
+               [ s1; s2 ];
+             if
+               Hw.Cyclesim.output_int s1 "weight"
+               <> Hw.Cyclesim.output_int s2 "weight"
+               || Hw.Cyclesim.output_int s1 "wsum"
+                  <> Hw.Cyclesim.output_int s2 "wsum"
+             then ok := false)
+           scores;
+         !ok))
+
+(* ---- A3 stage-1 RTL ---- *)
+
+let test_a3_stage1_dot_products () =
+  let sim = Hw.Cyclesim.create (Attention.A3_rtl.circuit ()) in
+  let rand =
+    let s = ref 5 in
+    fun () ->
+      s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+      (!s mod 256) - 128
+  in
+  let q = Array.init 64 (fun _ -> rand ()) in
+  Hw.Cyclesim.set_input_int sim "load_q" 1;
+  Hw.Cyclesim.set_input sim "q_row" (Attention.A3_rtl.pack_row q);
+  Hw.Cyclesim.set_input_int sim "key_valid" 0;
+  Hw.Cyclesim.set_input_int sim "clear" 1;
+  Hw.Cyclesim.set_input sim "key_row" (Bits.zero 512);
+  Hw.Cyclesim.step sim;
+  Hw.Cyclesim.set_input_int sim "load_q" 0;
+  Hw.Cyclesim.set_input_int sim "clear" 0;
+  let max_ref = ref min_int in
+  for i = 1 to 40 do
+    let k = Array.init 64 (fun _ -> rand ()) in
+    Hw.Cyclesim.set_input_int sim "key_valid" 1;
+    Hw.Cyclesim.set_input sim "key_row" (Attention.A3_rtl.pack_row k);
+    Hw.Cyclesim.step sim;
+    let expect = Attention.A3_rtl.dot_reference q k in
+    if expect > !max_ref then max_ref := expect;
+    check_int
+      (Printf.sprintf "dot product %d" i)
+      expect
+      (Bits.to_signed_int (Hw.Cyclesim.output sim "score"))
+  done;
+  Hw.Cyclesim.set_input_int sim "key_valid" 0;
+  Hw.Cyclesim.step sim;
+  check_int "running max (first global reduction)" !max_ref
+    (Bits.to_signed_int (Hw.Cyclesim.output sim "max_score"))
+
+let mk_divider w =
+  let open Hw.Signal in
+  let d = Hw.Divider.create ~width:w () in
+  let start = input "start" 1 in
+  let a = input "a" w in
+  let b = input "b" w in
+  assign d.Hw.Divider.start start;
+  assign d.Hw.Divider.dividend a;
+  assign d.Hw.Divider.divisor b;
+  Hw.Cyclesim.create
+    (Hw.Circuit.create ~name:"div"
+       ~outputs:
+         [
+           ("q", d.Hw.Divider.quotient);
+           ("r", d.Hw.Divider.remainder);
+           ("busy", d.Hw.Divider.busy);
+           ("done", d.Hw.Divider.done_);
+         ])
+
+let divider_divide sim width x y =
+  Hw.Cyclesim.set_input_int sim "start" 1;
+  Hw.Cyclesim.set_input_int sim "a" x;
+  Hw.Cyclesim.set_input_int sim "b" y;
+  Hw.Cyclesim.step sim;
+  Hw.Cyclesim.set_input_int sim "start" 0;
+  let guard = ref 0 in
+  while Hw.Cyclesim.output_int sim "done" = 0 && !guard < (2 * width) do
+    Hw.Cyclesim.step sim;
+    incr guard
+  done;
+  (Hw.Cyclesim.output_int sim "q", Hw.Cyclesim.output_int sim "r")
+
+let test_divider_basics () =
+  let sim = mk_divider 16 in
+  List.iter
+    (fun (x, y) ->
+      let q, r = divider_divide sim 16 x y in
+      check_int (Printf.sprintf "%d/%d quotient" x y) (x / y) q;
+      check_int (Printf.sprintf "%d mod %d" x y) (x mod y) r)
+    [ (100, 7); (65535, 255); (5, 10); (42, 1); (0, 3) ];
+  (* division by zero: all-ones quotient, remainder = dividend *)
+  let q, r = divider_divide sim 16 1234 0 in
+  check_int "div0 quotient" 0xFFFF q;
+  check_int "div0 remainder" 1234 r;
+  check_int "takes width steps after issue" 16
+    (let sim2 = mk_divider 16 in
+     Hw.Cyclesim.set_input_int sim2 "start" 1;
+     Hw.Cyclesim.set_input_int sim2 "a" 99;
+     Hw.Cyclesim.set_input_int sim2 "b" 7;
+     Hw.Cyclesim.step sim2;
+     Hw.Cyclesim.set_input_int sim2 "start" 0;
+     let n = ref 0 in
+     while Hw.Cyclesim.output_int sim2 "done" = 0 do
+       Hw.Cyclesim.step sim2;
+       incr n
+     done;
+     !n)
+
+let prop_divider =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:120 ~name:"divider matches integer division"
+       QCheck.(pair (int_bound 0xFFFFFF) (1 -- 0xFFFFFF))
+       (fun (x, y) ->
+         let sim = mk_divider 24 in
+         let q, r = divider_divide sim 24 x y in
+         q = x / y && r = x mod y))
+
+(* the full three-stage A3 pipeline at netlist level, normalization via
+   the sequential divider, verified bit-exact against the functional
+   model *)
+let test_a3_full_rtl_pipeline () =
+  let rand =
+    let s = ref 99 in
+    fun () ->
+      s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+      (!s mod 33) - 16
+  in
+  let q = Array.init 64 (fun _ -> rand ()) in
+  let keys = Array.init Attention.A3.n_keys (fun _ -> Array.init 64 (fun _ -> rand ())) in
+  let values = Array.init Attention.A3.n_keys (fun _ -> Array.init 64 (fun _ -> rand ())) in
+  (* stage 1 netlist: scores + max *)
+  let s1 = Hw.Cyclesim.create (Attention.A3_rtl.circuit ()) in
+  Hw.Cyclesim.set_input_int s1 "load_q" 1;
+  Hw.Cyclesim.set_input s1 "q_row" (Attention.A3_rtl.pack_row q);
+  Hw.Cyclesim.set_input_int s1 "key_valid" 0;
+  Hw.Cyclesim.set_input_int s1 "clear" 1;
+  Hw.Cyclesim.set_input s1 "key_row" (Bits.zero 512);
+  Hw.Cyclesim.step s1;
+  Hw.Cyclesim.set_input_int s1 "load_q" 0;
+  Hw.Cyclesim.set_input_int s1 "clear" 0;
+  let scores =
+    Array.map
+      (fun k ->
+        Hw.Cyclesim.set_input_int s1 "key_valid" 1;
+        Hw.Cyclesim.set_input s1 "key_row" (Attention.A3_rtl.pack_row k);
+        Hw.Cyclesim.step s1;
+        Bits.to_signed_int (Hw.Cyclesim.output s1 "score"))
+      keys
+  in
+  Hw.Cyclesim.set_input_int s1 "key_valid" 0;
+  Hw.Cyclesim.step s1;
+  let max_score = Bits.to_signed_int (Hw.Cyclesim.output s1 "max_score") in
+  Alcotest.(check (array int))
+    "stage 1 scores == reference" (Attention.A3.stage1_scores ~query:q ~keys)
+    scores;
+  (* stage 2 netlist: weights + wsum *)
+  let s2 = Hw.Cyclesim.create (Attention.A3_rtl.stage2_circuit ()) in
+  Hw.Cyclesim.set_input_int s2 "clear" 1;
+  Hw.Cyclesim.set_input_int s2 "score_valid" 0;
+  Hw.Cyclesim.set_input s2 "score" (Bits.zero 24);
+  Hw.Cyclesim.set_input s2 "max_score" (Bits.zero 24);
+  Hw.Cyclesim.step s2;
+  Hw.Cyclesim.set_input_int s2 "clear" 0;
+  Hw.Cyclesim.set_input s2 "max_score"
+    (Bits.of_signed_int ~width:24 max_score);
+  let weights =
+    Array.map
+      (fun sc ->
+        Hw.Cyclesim.set_input_int s2 "score_valid" 1;
+        Hw.Cyclesim.set_input s2 "score" (Bits.of_signed_int ~width:24 sc);
+        Hw.Cyclesim.step s2;
+        Hw.Cyclesim.output_int s2 "weight")
+      scores
+  in
+  Hw.Cyclesim.set_input_int s2 "score_valid" 0;
+  Hw.Cyclesim.step s2;
+  let wsum = Hw.Cyclesim.output_int s2 "wsum" in
+  let ref_weights = Attention.A3.stage2_weights scores in
+  Alcotest.(check (array int)) "stage 2 weights == reference" ref_weights weights;
+  check_int "wsum == reference" (Array.fold_left ( + ) 0 ref_weights) wsum;
+  (* stage 3 netlist: weighted accumulators *)
+  let s3 = Hw.Cyclesim.create (Attention.A3_rtl.stage3_circuit ()) in
+  Hw.Cyclesim.set_input_int s3 "clear" 1;
+  Hw.Cyclesim.set_input_int s3 "w_valid" 0;
+  Hw.Cyclesim.set_input_int s3 "weight" 0;
+  Hw.Cyclesim.set_input_int s3 "sel" 0;
+  Hw.Cyclesim.set_input s3 "v_row" (Bits.zero 512);
+  Hw.Cyclesim.step s3;
+  Hw.Cyclesim.set_input_int s3 "clear" 0;
+  Array.iteri
+    (fun i w ->
+      Hw.Cyclesim.set_input_int s3 "w_valid" 1;
+      Hw.Cyclesim.set_input_int s3 "weight" w;
+      Hw.Cyclesim.set_input s3 "v_row" (Attention.A3_rtl.pack_row values.(i));
+      Hw.Cyclesim.step s3)
+    weights;
+  Hw.Cyclesim.set_input_int s3 "w_valid" 0;
+  let acc d =
+    Hw.Cyclesim.set_input_int s3 "sel" d;
+    Bits.to_signed_int (Hw.Cyclesim.output s3 "acc")
+  in
+  (* normalization through the sequential divider, sign handled around it
+     (the functional model divides toward zero) *)
+  let open Hw.Signal in
+  let dv = Hw.Divider.create ~width:32 () in
+  let start = input "start" 1 and a = input "a" 32 and b = input "b" 32 in
+  assign dv.Hw.Divider.start start;
+  assign dv.Hw.Divider.dividend a;
+  assign dv.Hw.Divider.divisor b;
+  let dsim =
+    Hw.Cyclesim.create
+      (Hw.Circuit.create ~name:"norm"
+         ~outputs:[ ("q", dv.Hw.Divider.quotient); ("done", dv.Hw.Divider.done_) ])
+  in
+  let divide x y =
+    Hw.Cyclesim.set_input_int dsim "start" 1;
+    Hw.Cyclesim.set_input_int dsim "a" x;
+    Hw.Cyclesim.set_input_int dsim "b" y;
+    Hw.Cyclesim.step dsim;
+    Hw.Cyclesim.set_input_int dsim "start" 0;
+    let guard = ref 0 in
+    while Hw.Cyclesim.output_int dsim "done" = 0 && !guard < 64 do
+      Hw.Cyclesim.step dsim;
+      incr guard
+    done;
+    Hw.Cyclesim.output_int dsim "q"
+  in
+  let expect = Attention.A3.attend_fixed ~query:q ~keys ~values in
+  let got =
+    Array.init 64 (fun d ->
+        let num = acc d + (wsum / 2) in
+        let v =
+          if num >= 0 then divide num wsum else -divide (-num) wsum
+        in
+        max (-128) (min 127 v))
+  in
+  Alcotest.(check (array int))
+    "normalized outputs == attend_fixed" expect got
+
+(* ---- DRAM refresh ---- *)
+
+let test_refresh_costs_bandwidth () =
+  let stream cfg =
+    let e = Desim.Engine.create () in
+    let d = Dram.create e cfg in
+    Dram.submit d ~addr:0 ~bytes:(4 lsl 20) ~dir:Dram.Read
+      ~on_complete:ignore ();
+    Desim.Engine.run e;
+    Dram.achieved_bandwidth_gbs d
+  in
+  let with_refresh = stream Dram.Config.ddr4_2400 in
+  let without = stream { Dram.Config.ddr4_2400 with Dram.Config.trfc = 0 } in
+  check_bool "refresh costs some bandwidth" true (with_refresh < without);
+  (* tRFC/tREFI ~ 4.5%: the loss must be single-digit percent *)
+  check_bool "loss bounded" true (with_refresh > without *. 0.90)
+
+let test_refresh_closes_rows () =
+  (* a row left open across a refresh boundary must re-activate (miss) *)
+  let e = Desim.Engine.create () in
+  let d = Dram.create e Dram.Config.ddr4_2400 in
+  Dram.submit d ~addr:0 ~bytes:64 ~dir:Dram.Read ~on_complete:ignore ();
+  Desim.Engine.run e;
+  (* wait past the first refresh interval *)
+  Desim.Engine.schedule e ~delay:(10_000 * 833) (fun () ->
+      Dram.submit d ~addr:(64 * 16) ~bytes:64 ~dir:Dram.Read
+        ~on_complete:ignore ());
+  Desim.Engine.run e;
+  check_int "both are misses" 2 (Dram.row_misses d);
+  check_int "no hits" 0 (Dram.row_hits d)
+
+(* ---- Pagemap ---- *)
+
+let test_pagemap_translation () =
+  let pm = Runtime.Pagemap.create ~phys_bytes:(64 * 1024 * 1024) () in
+  let m = Runtime.Pagemap.mmap pm 10_000 in
+  (* translations exist and respect the page offset *)
+  let p0 = Runtime.Pagemap.translate pm m.Runtime.Pagemap.vaddr in
+  let p5 = Runtime.Pagemap.translate pm (m.Runtime.Pagemap.vaddr + 5) in
+  check_int "offset preserved" (p0 + 5) p5;
+  check_bool "unmapped raises" true
+    (try
+       ignore (Runtime.Pagemap.translate pm 12345);
+       false
+     with Not_found -> true)
+
+let test_pagemap_hugepages_contiguous () =
+  let pm = Runtime.Pagemap.create ~phys_bytes:(64 * 1024 * 1024) () in
+  let small = Runtime.Pagemap.mmap pm (64 * 1024) in
+  let huge = Runtime.Pagemap.mmap pm ~hugepages:true (3 * 1024 * 1024) in
+  check_bool "4KB-backed region is fragmented" false
+    (Runtime.Pagemap.physically_contiguous pm small);
+  check_bool "hugepage-backed region is contiguous" true
+    (Runtime.Pagemap.physically_contiguous pm huge);
+  check_int "regions cover the request"
+    (3 * 1024 * 1024)
+    (List.fold_left (fun acc (_, l) -> acc + l) 0
+       (Runtime.Pagemap.phys_regions pm huge));
+  Runtime.Pagemap.munmap pm huge;
+  Runtime.Pagemap.munmap pm small
+
+let test_pagemap_frames_recycle () =
+  let pm = Runtime.Pagemap.create ~phys_bytes:(16 * 1024 * 1024) () in
+  let before = Runtime.Pagemap.frames_free pm in
+  let m = Runtime.Pagemap.mmap pm (1024 * 1024) in
+  check_int "256 frames taken" (before - 256) (Runtime.Pagemap.frames_free pm);
+  Runtime.Pagemap.munmap pm m;
+  check_int "frames returned" before (Runtime.Pagemap.frames_free pm);
+  Alcotest.check_raises "double unmap"
+    (Invalid_argument "Pagemap.munmap: not mapped") (fun () ->
+      Runtime.Pagemap.munmap pm m)
+
+let prop_pagemap =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60
+       ~name:"no two mappings share a physical frame"
+       QCheck.(list_of_size Gen.(1 -- 12) (pair bool (1 -- 200_000)))
+       (fun reqs ->
+         let pm = Runtime.Pagemap.create ~phys_bytes:(128 * 1024 * 1024) () in
+         let mappings =
+           List.filter_map
+             (fun (huge, bytes) ->
+               try Some (Runtime.Pagemap.mmap pm ~hugepages:huge bytes)
+               with Failure _ -> None)
+             reqs
+         in
+         let seen = Hashtbl.create 256 in
+         List.for_all
+           (fun m ->
+             let pages =
+               ((m.Runtime.Pagemap.bytes - 1) / 4096) + 1
+             in
+             List.for_all
+               (fun i ->
+                 let p =
+                   Runtime.Pagemap.translate pm
+                     (m.Runtime.Pagemap.vaddr + (i * 4096))
+                   / 4096
+                 in
+                 if Hashtbl.mem seen p then false
+                 else begin
+                   Hashtbl.add seen p ();
+                   true
+                 end)
+               (List.init pages (fun i -> i)))
+           mappings))
+
+(* ---- strided reader ---- *)
+
+let test_strided_stream () =
+  let cfg =
+    B.Config.make ~name:"t"
+      [
+        B.Config.system ~name:"S" ~n_cores:1
+          ~read_channels:[ B.Config.read_channel ~name:"in" ~data_bytes:4 () ]
+          ~commands:[ B.Cmd_spec.make ~name:"go" ~funct:0 [] ]
+          ();
+      ]
+  in
+  let design = B.Elaborate.elaborate cfg D.aws_f1 in
+  let got = ref [] in
+  let behavior : B.Soc.behavior =
+   fun ctx _ ~respond ->
+    let r = B.Soc.reader ctx "in" in
+    B.Soc.Reader.stream_strided r ~addr:4096 ~row_bytes:16 ~stride:256
+      ~n_rows:3
+      ~on_item:(fun ~row ~offset -> got := (row, offset) :: !got)
+      ~on_done:(fun () -> respond 0L)
+      ()
+  in
+  let soc = B.Soc.create design ~behaviors:(fun _ -> behavior) in
+  let h = Runtime.Handle.create soc in
+  let cmd = B.Cmd_spec.make ~name:"go" ~funct:0 [] in
+  ignore
+    (Runtime.Handle.await h
+       (Runtime.Handle.send h ~system:"S" ~core:0 ~cmd ~args:[]));
+  let expect =
+    List.concat_map (fun row -> List.init 4 (fun i -> (row, i * 4))) [ 0; 1; 2 ]
+  in
+  Alcotest.(check (list (pair int int)))
+    "rows in order, 4 items each" expect (List.rev !got)
+
+(* ---- platforms ---- *)
+
+let test_asic_platforms () =
+  check_bool "chipkit shares address space" true
+    D.chipkit.D.host.D.shared_address_space;
+  check_bool "chipkit on-die mmio is fast" true
+    (D.chipkit.D.host.D.mmio_latency_ps < D.aws_f1.D.host.D.mmio_latency_ps);
+  (* the same design compiles to different macro sets on the two PDKs *)
+  let cfg =
+    B.Config.make ~name:"t"
+      [
+        B.Config.system ~name:"S" ~n_cores:1
+          ~scratchpads:
+            [ B.Config.scratchpad ~name:"sp" ~data_bits:64 ~n_datas:2048 () ]
+          ();
+      ]
+  in
+  let plan p =
+    match (B.Elaborate.elaborate cfg p).B.Elaborate.sram_plans with
+    | [ (_, plan) ] -> plan
+    | _ -> Alcotest.fail "expected one plan"
+  in
+  let a7 = plan D.chipkit and s32 = plan D.saed32 in
+  check_bool "different macros" true
+    (a7.Platform.Sram.macro.Platform.Sram.macro_name
+    <> s32.Platform.Sram.macro.Platform.Sram.macro_name);
+  check_bool "7nm denser" true
+    (a7.Platform.Sram.total_area_um2 < s32.Platform.Sram.total_area_um2)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "dsl",
+        [
+          Alcotest.test_case "sext/repeat" `Quick test_sext_repeat;
+          Alcotest.test_case "fifo fill/drain" `Quick test_fifo_fill_drain;
+          Alcotest.test_case "fifo bad depth" `Quick test_fifo_bad_depth;
+          Alcotest.test_case "divider" `Quick test_divider_basics;
+          Alcotest.test_case "constant folding" `Quick test_constant_fold_shrinks;
+          Alcotest.test_case "fold mux/reg" `Quick test_constant_fold_mux_and_reg;
+          prop_fifo;
+          prop_divider;
+          prop_fold_equiv;
+        ] );
+      ( "a3-rtl",
+        [
+          Alcotest.test_case "dot products + max" `Quick
+            test_a3_stage1_dot_products;
+          Alcotest.test_case "full pipeline bit-exact" `Quick
+            test_a3_full_rtl_pipeline;
+        ] );
+      ( "refresh",
+        [
+          Alcotest.test_case "bandwidth cost" `Quick test_refresh_costs_bandwidth;
+          Alcotest.test_case "closes rows" `Quick test_refresh_closes_rows;
+        ] );
+      ( "pagemap",
+        [
+          Alcotest.test_case "translation" `Quick test_pagemap_translation;
+          Alcotest.test_case "hugepages contiguous" `Quick
+            test_pagemap_hugepages_contiguous;
+          Alcotest.test_case "recycling" `Quick test_pagemap_frames_recycle;
+          prop_pagemap;
+        ] );
+      ("strided", [ Alcotest.test_case "stream" `Quick test_strided_stream ]);
+      ("platforms", [ Alcotest.test_case "asic entries" `Quick test_asic_platforms ]);
+    ]

@@ -1,0 +1,274 @@
+(* RV32I interpreter + RoCC custom instructions, and the ChipKIT
+   co-simulation where the simulated CPU drives a Beethoven accelerator
+   through real RoCC instruction encodings. *)
+
+module A = Riscv.Asm
+module Cpu = Riscv.Cpu
+module B = Beethoven
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_i32 = Alcotest.(check int32)
+
+let run_program ?on_rocc program =
+  let cpu = Cpu.create ?on_rocc ~program () in
+  ignore (Cpu.run cpu);
+  cpu
+
+(* ---- base ISA ---- *)
+
+let test_arith () =
+  let cpu =
+    run_program
+      [
+        A.addi 1 0 100;
+        A.addi 2 0 (-3);
+        A.add 3 1 2; (* 97 *)
+        A.sub 4 1 2; (* 103 *)
+        A.slli 5 1 4; (* 1600 *)
+        A.srai 6 2 1; (* -2 *)
+        A.andi 7 1 0x6c; (* 100 & 0x6c = 0x64 & 0x6c = 0x64 *)
+        A.xori 8 1 0xF; (* 107 *)
+        A.slt 9 2 1; (* 1 *)
+        A.sltu 10 2 1; (* 0: -3 unsigned is huge *)
+        A.ecall;
+      ]
+  in
+  check_i32 "add" 97l (Cpu.reg cpu 3);
+  check_i32 "sub" 103l (Cpu.reg cpu 4);
+  check_i32 "slli" 1600l (Cpu.reg cpu 5);
+  check_i32 "srai" (-2l) (Cpu.reg cpu 6);
+  check_i32 "andi" 0x64l (Cpu.reg cpu 7);
+  check_i32 "xori" 107l (Cpu.reg cpu 8);
+  check_i32 "slt" 1l (Cpu.reg cpu 9);
+  check_i32 "sltu" 0l (Cpu.reg cpu 10);
+  check_bool "halted" true (Cpu.halted cpu)
+
+let test_x0_is_zero () =
+  let cpu = run_program [ A.addi 0 0 42; A.add 1 0 0; A.ecall ] in
+  check_i32 "x0 stays zero" 0l (Cpu.reg cpu 0);
+  check_i32 "x1 = 0" 0l (Cpu.reg cpu 1)
+
+let test_memory_ops () =
+  let cpu =
+    run_program
+      [
+        A.addi 1 0 0x100;
+        A.addi 2 0 (-123);
+        A.sw 2 1 0;
+        A.lw 3 1 0;
+        A.lh 4 1 0;
+        A.lbu 5 1 0;
+        A.addi 6 0 0x7f;
+        A.sb 6 1 8;
+        A.lb 7 1 8;
+        A.ecall;
+      ]
+  in
+  check_i32 "lw roundtrip" (-123l) (Cpu.reg cpu 3);
+  check_i32 "lh sign-extends" (-123l) (Cpu.reg cpu 4);
+  check_i32 "lbu zero-extends" 0x85l (Cpu.reg cpu 5);
+  check_i32 "lb positive" 0x7fl (Cpu.reg cpu 7)
+
+let test_loop_sum () =
+  (* sum 1..10 with a branch loop: x1=i, x2=acc *)
+  let cpu =
+    run_program
+      [
+        A.addi 1 0 1;
+        A.addi 2 0 0;
+        A.addi 3 0 11;
+        (* loop: *)
+        A.add 2 2 1;
+        A.addi 1 1 1;
+        A.bne 1 3 (-8);
+        A.ecall;
+      ]
+  in
+  check_i32 "sum 1..10" 55l (Cpu.reg cpu 2)
+
+let test_jal_jalr () =
+  let cpu =
+    run_program
+      [
+        A.jal 1 8; (* skip the next insn; x1 = 4 *)
+        A.addi 6 0 99; (* skipped *)
+        A.addi 3 0 7;
+        A.jalr 4 1 12; (* jump to x1+12 = 16: the ecall *)
+        A.ecall;
+      ]
+  in
+  check_i32 "link register" 4l (Cpu.reg cpu 1);
+  check_i32 "skipped insn" 0l (Cpu.reg cpu 6);
+  check_i32 "fallthrough ran" 7l (Cpu.reg cpu 3)
+
+let test_lui_auipc () =
+  let cpu = run_program [ A.lui 1 0xABCDE; A.auipc 2 1; A.ecall ] in
+  check_i32 "lui" (Int32.shift_left 0xABCDEl 12) (Cpu.reg cpu 1);
+  check_i32 "auipc" (Int32.of_int ((1 lsl 12) + 4)) (Cpu.reg cpu 2)
+
+let test_illegal_and_misaligned () =
+  let cpu = Cpu.create ~program:[ A.lw 1 0 2; A.ecall ] () in
+  check_bool "misaligned load traps" true
+    (try
+       ignore (Cpu.run cpu);
+       false
+     with Failure _ -> true);
+  let cpu2 = Cpu.create ~program:[ A.custom0 ~funct7:0 ~rd:1 ~rs1:0 ~rs2:0 ~xd:false ] () in
+  check_bool "rocc without accelerator traps" true
+    (try
+       ignore (Cpu.run cpu2);
+       false
+     with Failure _ -> true)
+
+(* ---- RoCC hook ---- *)
+
+let test_rocc_immediate_result () =
+  let seen = ref [] in
+  let cpu =
+    run_program
+      ~on_rocc:(fun req supply ->
+        seen := (req.Cpu.funct7, req.Cpu.rs1_value, req.Cpu.rs2_value) :: !seen;
+        if req.Cpu.expects_result then
+          supply (Int32.mul req.Cpu.rs1_value 2l))
+      [
+        A.addi 1 0 21;
+        A.addi 2 0 5;
+        A.custom0 ~funct7:3 ~rd:4 ~rs1:1 ~rs2:2 ~xd:true;
+        A.custom0 ~funct7:9 ~rd:0 ~rs1:2 ~rs2:1 ~xd:false;
+        A.ecall;
+      ]
+  in
+  check_i32 "result written" 42l (Cpu.reg cpu 4);
+  check_int "both commands seen" 2 (List.length !seen);
+  check_bool "funct7 routed" true
+    (List.mem (3, 21l, 5l) !seen && List.mem (9, 5l, 21l) !seen)
+
+let test_rocc_blocks_until_supplied () =
+  let pending = ref None in
+  let cpu =
+    Cpu.create
+      ~on_rocc:(fun _ supply -> pending := Some supply)
+      ~program:
+        [
+          A.custom0 ~funct7:0 ~rd:1 ~rs1:0 ~rs2:0 ~xd:true;
+          A.addi 6 0 1;
+          A.ecall;
+        ]
+      ()
+  in
+  ignore (Cpu.run cpu);
+  check_bool "blocked" true (Cpu.blocked_on_rocc cpu);
+  check_i32 "next insn not executed" 0l (Cpu.reg cpu 6);
+  (Option.get !pending) 77l;
+  ignore (Cpu.run cpu);
+  check_bool "halted after unblock" true (Cpu.halted cpu);
+  check_i32 "result arrived" 77l (Cpu.reg cpu 1);
+  check_i32 "pipeline resumed" 1l (Cpu.reg cpu 6)
+
+(* ---- ChipKIT co-simulation ---- *)
+
+(* a CPU-friendly accelerator: add (p2 low 16) to (p2 high 16 = count)
+   words in place at p1 *)
+let scale_cmd =
+  B.Cmd_spec.make ~name:"scale" ~funct:0 ~response_bits:32
+    [ ("addr", B.Cmd_spec.Uint 64); ("args", B.Cmd_spec.Uint 64) ]
+
+let scale_behavior : B.Soc.behavior =
+ fun ctx beats ~respond ->
+  let b = List.hd beats in
+  let addr = Int64.to_int b.B.Rocc.payload1 in
+  let args = Int64.to_int b.B.Rocc.payload2 in
+  let addend = args land 0xFFFF and count = (args lsr 16) land 0xFFFF in
+  let soc = ctx.B.Soc.soc in
+  B.Soc.after_cycles ctx count (fun () ->
+      for i = 0 to count - 1 do
+        B.Soc.write_u32 soc (addr + (4 * i))
+          (Int32.add (B.Soc.read_u32 soc (addr + (4 * i))) (Int32.of_int addend))
+      done;
+      respond (Int64.of_int count))
+
+let test_chipkit_cosim () =
+  let cfg =
+    B.Config.make ~name:"testchip"
+      [ B.Config.system ~name:"Scale" ~n_cores:1 ~commands:[ scale_cmd ] () ]
+  in
+  let design = B.Elaborate.elaborate cfg Platform.Device.chipkit in
+  let soc = B.Soc.create design ~behaviors:(fun _ -> scale_behavior) in
+  (* operands in device memory (shared address space with the CPU's view) *)
+  let base = 0x10000 in
+  for i = 0 to 7 do
+    B.Soc.write_u32 soc (base + (4 * i)) (Int32.of_int (i * 10))
+  done;
+  (* host program: x1 = base; x2 = count<<16 | addend; issue; await *)
+  let program =
+    [
+      Riscv.Asm.lui 1 (base lsr 12);
+      Riscv.Asm.addi 2 0 8;
+      Riscv.Asm.slli 2 2 16;
+      Riscv.Asm.addi 2 2 5; (* count=8, addend=5 *)
+      Riscv.Asm.custom0 ~funct7:0 ~rd:3 ~rs1:1 ~rs2:2 ~xd:true;
+      Riscv.Asm.addi 4 3 0; (* copy the response *)
+      Riscv.Asm.ecall;
+    ]
+  in
+  let host = Runtime.Chipkit_host.create soc ~program in
+  let halted = ref false in
+  Runtime.Chipkit_host.start host ~on_halt:(fun () -> halted := true);
+  Desim.Engine.run (B.Soc.engine soc);
+  check_bool "program halted" true !halted;
+  check_i32 "response in rd" 8l (Riscv.Cpu.reg (Runtime.Chipkit_host.cpu host) 4);
+  check_int "one command issued" 1 (Runtime.Chipkit_host.commands_issued host);
+  for i = 0 to 7 do
+    check_int
+      (Printf.sprintf "word %d scaled" i)
+      ((i * 10) + 5)
+      (Int32.to_int (B.Soc.read_u32 soc (base + (4 * i))))
+  done;
+  check_bool "time advanced with the cpu clock" true
+    (Desim.Engine.now (B.Soc.engine soc) > 0)
+
+(* property: ALU ops agree with a simple model *)
+
+let prop_alu =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"register ALU matches Int32 model"
+       QCheck.(pair int32 int32)
+       (fun (a, b) ->
+         let cpu = Cpu.create ~program:[ A.add 3 1 2; A.sub 4 1 2;
+                                         A.xor_ 5 1 2; A.and_ 6 1 2;
+                                         A.or_ 7 1 2; A.sltu 8 1 2;
+                                         A.ecall ] () in
+         Cpu.set_reg cpu 1 a;
+         Cpu.set_reg cpu 2 b;
+         ignore (Cpu.run cpu);
+         Cpu.reg cpu 3 = Int32.add a b
+         && Cpu.reg cpu 4 = Int32.sub a b
+         && Cpu.reg cpu 5 = Int32.logxor a b
+         && Cpu.reg cpu 6 = Int32.logand a b
+         && Cpu.reg cpu 7 = Int32.logor a b
+         && Cpu.reg cpu 8 = (if Int32.unsigned_compare a b < 0 then 1l else 0l)))
+
+let () =
+  Alcotest.run "riscv"
+    [
+      ( "isa",
+        [
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "x0" `Quick test_x0_is_zero;
+          Alcotest.test_case "memory" `Quick test_memory_ops;
+          Alcotest.test_case "loop" `Quick test_loop_sum;
+          Alcotest.test_case "jal/jalr" `Quick test_jal_jalr;
+          Alcotest.test_case "lui/auipc" `Quick test_lui_auipc;
+          Alcotest.test_case "traps" `Quick test_illegal_and_misaligned;
+        ] );
+      ( "rocc",
+        [
+          Alcotest.test_case "immediate result" `Quick
+            test_rocc_immediate_result;
+          Alcotest.test_case "interlock" `Quick test_rocc_blocks_until_supplied;
+        ] );
+      ( "chipkit",
+        [ Alcotest.test_case "cosimulation" `Quick test_chipkit_cosim ] );
+      ("properties", [ prop_alu ]);
+    ]

@@ -1,0 +1,349 @@
+(* The RTL developer surface: the Fig. 2 core in the DSL, driven (a) in
+   isolation through Cyclesim with a hand-rolled test bench + VCD dump,
+   and (b) inside the full composed SoC through the Rtl_core bridge.
+   Also covers the Intercore write ports. *)
+
+module B = Beethoven
+module D = Platform.Device
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ---- the circuit in isolation ---- *)
+
+let test_vecadd_circuit_standalone () =
+  let circuit = Kernels.Vecadd_rtl.circuit () in
+  let sim = Hw.Cyclesim.create circuit in
+  let set = Hw.Cyclesim.set_input_int sim in
+  (* idle, both request ports ready *)
+  set "vec_in_req_ready" 1;
+  set "vec_out_req_ready" 1;
+  set "resp_ready" 1;
+  set "vec_in_data_valid" 0;
+  set "vec_out_data_ready" 1;
+  set "req_valid" 0;
+  check_int "idle: ready" 1 (Hw.Cyclesim.output_int sim "req_ready");
+  check_int "idle: no resp" 0 (Hw.Cyclesim.output_int sim "resp_valid");
+  (* issue a command: 4 elements, addend 7, addr 0x1000 *)
+  set "req_valid" 1;
+  Hw.Cyclesim.set_input sim "req_p1" (Bits.of_int ~width:64 0x1000);
+  Hw.Cyclesim.set_input sim "req_p2"
+    (Bits.of_int64 ~width:64 Int64.(logor 7L (shift_left 4L 32)));
+  Hw.Cyclesim.settle sim;
+  check_int "issues read req" 1 (Hw.Cyclesim.output_int sim "vec_in_req_valid");
+  check_int "read addr" 0x1000 (Hw.Cyclesim.output_int sim "vec_in_req_addr");
+  check_int "read len = 16 bytes" 16 (Hw.Cyclesim.output_int sim "vec_in_req_len");
+  check_int "issues write req" 1 (Hw.Cyclesim.output_int sim "vec_out_req_valid");
+  Hw.Cyclesim.step sim;
+  set "req_valid" 0;
+  check_int "busy: not ready" 0 (Hw.Cyclesim.output_int sim "req_ready");
+  (* stream 4 elements through the datapath *)
+  List.iteri
+    (fun i v ->
+      set "vec_in_data_valid" 1;
+      set "vec_in_data" v;
+      Hw.Cyclesim.settle sim;
+      check_int
+        (Printf.sprintf "element %d added" i)
+        (v + 7)
+        (Hw.Cyclesim.output_int sim "vec_out_data");
+      check_int "out valid" 1 (Hw.Cyclesim.output_int sim "vec_out_data_valid");
+      Hw.Cyclesim.step sim)
+    [ 10; 20; 30; 40 ];
+  set "vec_in_data_valid" 0;
+  check_int "response raised" 1 (Hw.Cyclesim.output_int sim "resp_valid");
+  check_int "count reported" 4 (Hw.Cyclesim.output_int sim "resp_data");
+  Hw.Cyclesim.step sim;
+  check_int "back to idle" 1 (Hw.Cyclesim.output_int sim "req_ready");
+  check_int "resp cleared" 0 (Hw.Cyclesim.output_int sim "resp_valid")
+
+let test_vecadd_circuit_backpressure () =
+  (* with out_data_ready low, elements must not be consumed *)
+  let circuit = Kernels.Vecadd_rtl.circuit () in
+  let sim = Hw.Cyclesim.create circuit in
+  let set = Hw.Cyclesim.set_input_int sim in
+  set "vec_in_req_ready" 1;
+  set "vec_out_req_ready" 1;
+  set "resp_ready" 1;
+  set "req_valid" 1;
+  Hw.Cyclesim.set_input sim "req_p1" (Bits.of_int ~width:64 0);
+  Hw.Cyclesim.set_input sim "req_p2"
+    (Bits.of_int64 ~width:64 Int64.(shift_left 2L 32));
+  Hw.Cyclesim.step sim;
+  set "req_valid" 0;
+  set "vec_in_data_valid" 1;
+  set "vec_in_data" 5;
+  set "vec_out_data_ready" 0;
+  Hw.Cyclesim.settle sim;
+  check_int "input stalled" 0 (Hw.Cyclesim.output_int sim "vec_in_data_ready");
+  Hw.Cyclesim.step sim;
+  Hw.Cyclesim.step sim;
+  check_int "no response while stalled" 0
+    (Hw.Cyclesim.output_int sim "resp_valid")
+
+let test_vecadd_verilog () =
+  let v = Hw.Verilog.of_circuit (Kernels.Vecadd_rtl.circuit ()) in
+  let has s =
+    let n = String.length s and m = String.length v in
+    let rec go i = i + n <= m && (String.sub v i n = s || go (i + 1)) in
+    go 0
+  in
+  check_bool "module" true (has "module vecadd_core");
+  check_bool "ports" true (has "vec_out_data");
+  check_bool "sequential logic" true (has "always @(posedge clk)")
+
+(* ---- VCD dumping ---- *)
+
+let test_vcd_dump () =
+  let open Hw.Signal in
+  let d = input "d" 4 in
+  let q = reg d -- "q" in
+  let circuit = Hw.Circuit.create ~name:"t" ~outputs:[ ("q", q) ] in
+  let sim = Hw.Cyclesim.create circuit in
+  let vcd = Hw.Vcd.create sim ~signals:[ ("d", d); ("q", q) ] () in
+  List.iter
+    (fun v ->
+      Hw.Cyclesim.set_input_int sim "d" v;
+      Hw.Cyclesim.settle sim;
+      Hw.Vcd.sample vcd;
+      Hw.Cyclesim.step sim)
+    [ 1; 1; 1; 5; 9 ];
+  let text = Hw.Vcd.contents vcd in
+  let has s =
+    let n = String.length s and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = s || go (i + 1)) in
+    go 0
+  in
+  check_bool "header" true (has "$enddefinitions $end");
+  check_bool "var declared" true (has "$var wire 4");
+  check_bool "initial timestep" true (has "#0");
+  check_bool "binary value change" true (has "b0001 ");
+  (* d changes at steps 0, 3, 4; q changes at step 1; step 2 is stable *)
+  check_bool "change at step 3" true (has "#3");
+  check_bool "change at step 4" true (has "#4");
+  check_bool "no timestep without changes" true (not (has "#2"))
+
+(* ---- the bridge: RTL core inside the SoC ---- *)
+
+let test_rtl_core_in_soc () =
+  let ok, resps, _ =
+    Kernels.Vecadd_rtl.run ~n_cores:2 ~n_eles:200 ~platform:D.aws_f1 ()
+  in
+  check_bool "contents correct (computed by the netlist)" true ok;
+  Alcotest.(check (list int64)) "responses carry counts" [ 200L; 200L ] resps
+
+let test_rtl_core_sequential_commands () =
+  (* the same core instance must handle several commands in sequence *)
+  let design =
+    B.Elaborate.elaborate (Kernels.Vecadd_rtl.config ()) D.aws_f1
+  in
+  let soc =
+    B.Soc.create design ~behaviors:(fun _ -> Kernels.Vecadd_rtl.behavior)
+  in
+  let handle = Runtime.Handle.create soc in
+  let module H = Runtime.Handle in
+  let p = H.malloc handle 1024 in
+  for i = 0 to 255 do
+    Bytes.set_int32_le (H.host_bytes handle p) (i * 4) 0l
+  done;
+  let dma = ref false in
+  H.copy_to_fpga handle p ~on_done:(fun () -> dma := true);
+  Desim.Engine.run (H.engine handle);
+  (* three in-place adds of 1 over the same buffer *)
+  for _ = 1 to 3 do
+    let h =
+      H.send handle ~system:"VecAddRTL" ~core:0 ~cmd:Kernels.Vecadd_rtl.command
+        ~args:
+          [
+            ("vec_addr", Int64.of_int p.H.rp_addr);
+            ("addend", 1L);
+            ("n_eles", 256L);
+          ]
+    in
+    ignore (H.await handle h)
+  done;
+  Alcotest.(check int32)
+    "three adds accumulated" 3l
+    (B.Soc.read_u32 soc (p.H.rp_addr + 400))
+
+let test_rtl_missing_port_rejected () =
+  let bad () =
+    let open Hw.Signal in
+    Hw.Circuit.create ~name:"bad" ~outputs:[ ("req_ready", input "x" 1) ]
+  in
+  let cfg = Kernels.Vecadd_rtl.config () in
+  let design = B.Elaborate.elaborate cfg D.aws_f1 in
+  let soc =
+    B.Soc.create design ~behaviors:(fun _ -> B.Rtl_core.behavior ~build:bad)
+  in
+  let handle = Runtime.Handle.create soc in
+  let raised = ref false in
+  (try
+     let h =
+       Runtime.Handle.send handle ~system:"VecAddRTL" ~core:0
+         ~cmd:Kernels.Vecadd_rtl.command
+         ~args:[ ("vec_addr", 0L); ("addend", 0L); ("n_eles", 1L) ]
+     in
+     ignore (Runtime.Handle.await handle h)
+   with Failure msg ->
+     raised := String.length msg > 0);
+  check_bool "missing ports rejected with a diagnostic" true !raised
+
+(* ---- intercore ports ---- *)
+
+let intercore_config () =
+  let producer_cmd =
+    B.Cmd_spec.make ~name:"produce" ~funct:0 ~response_bits:32
+      [ ("base", B.Cmd_spec.Uint 32); ("count", B.Cmd_spec.Uint 16) ]
+  in
+  let consumer_cmd =
+    B.Cmd_spec.make ~name:"reduce" ~funct:0 ~response_bits:64
+      [ ("count", B.Cmd_spec.Uint 16) ]
+  in
+  ( producer_cmd,
+    consumer_cmd,
+    B.Config.make ~name:"pipeline"
+      [
+        B.Config.system ~name:"Producer" ~n_cores:1
+          ~intra_core_ports:
+            [
+              {
+                B.Config.ic_name = "to_consumer";
+                ic_to_system = "Consumer";
+                ic_to_scratchpad = "inbox";
+                ic_n_channels = 1;
+              };
+            ]
+          ~commands:[ producer_cmd ] ();
+        B.Config.system ~name:"Consumer" ~n_cores:2
+          ~scratchpads:
+            [ B.Config.scratchpad ~name:"inbox" ~data_bits:64 ~n_datas:64 () ]
+          ~commands:[ consumer_cmd ] ();
+      ] )
+
+let test_intercore_pipeline () =
+  let producer_cmd, consumer_cmd, cfg = intercore_config () in
+  let design = B.Elaborate.elaborate cfg D.aws_f1 in
+  let producer : B.Soc.behavior =
+   fun ctx beats ~respond ->
+    let args =
+      B.Cmd_spec.unpack producer_cmd
+        (List.map (fun b -> (b.B.Rocc.payload1, b.B.Rocc.payload2)) beats)
+    in
+    let base = Int64.to_int (List.assoc "base" args) in
+    let count = Int64.to_int (List.assoc "count" args) in
+    let port = B.Soc.intercore_out ctx "to_consumer" in
+    let pending = ref (2 * count) in
+    let finish () =
+      decr pending;
+      if !pending = 0 then respond (Int64.of_int count)
+    in
+    for row = 0 to count - 1 do
+      (* fan the values out to both consumer cores *)
+      List.iter
+        (fun target_core ->
+          let data = Bytes.create 8 in
+          Bytes.set_int64_le data 0 (Int64.of_int (base + row));
+          B.Soc.Intercore.write port ~target_core ~row ~data ~on_done:finish)
+        [ 0; 1 ]
+    done
+  in
+  let consumer : B.Soc.behavior =
+   fun ctx beats ~respond ->
+    let args =
+      B.Cmd_spec.unpack consumer_cmd
+        (List.map (fun b -> (b.B.Rocc.payload1, b.B.Rocc.payload2)) beats)
+    in
+    let count = Int64.to_int (List.assoc "count" args) in
+    let sp = B.Soc.scratchpad ctx "inbox" in
+    let sum = ref 0L in
+    for row = 0 to count - 1 do
+      sum := Int64.add !sum (B.Soc.Scratchpad.get_u64 sp row)
+    done;
+    respond !sum
+  in
+  let soc =
+    B.Soc.create design ~behaviors:(function
+      | "Producer" -> producer
+      | "Consumer" -> consumer
+      | s -> failwith s)
+  in
+  let handle = Runtime.Handle.create soc in
+  let module H = Runtime.Handle in
+  let p =
+    H.send handle ~system:"Producer" ~core:0 ~cmd:producer_cmd
+      ~args:[ ("base", 100L); ("count", 10L) ]
+  in
+  Alcotest.(check int64) "producer wrote all rows" 10L (H.await handle p);
+  (* both consumers see the same data: sum 100..109 = 1045 *)
+  List.iter
+    (fun core ->
+      let c =
+        H.send handle ~system:"Consumer" ~core ~cmd:consumer_cmd
+          ~args:[ ("count", 10L) ]
+      in
+      Alcotest.(check int64)
+        (Printf.sprintf "consumer %d sum" core)
+        1045L (H.await handle c))
+    [ 0; 1 ]
+
+let test_intercore_validation () =
+  let _, _, cfg = intercore_config () in
+  let design = B.Elaborate.elaborate cfg D.aws_f1 in
+  let seen = ref [] in
+  let probe : B.Soc.behavior =
+   fun ctx _ ~respond ->
+    let port = B.Soc.intercore_out ctx "to_consumer" in
+    (try
+       B.Soc.Intercore.write port ~target_core:5 ~row:0
+         ~data:(Bytes.create 8) ~on_done:ignore
+     with Invalid_argument m -> seen := m :: !seen);
+    (try
+       B.Soc.Intercore.write port ~target_core:0 ~row:999
+         ~data:(Bytes.create 8) ~on_done:ignore
+     with Invalid_argument m -> seen := m :: !seen);
+    (try
+       B.Soc.Intercore.write port ~target_core:0 ~row:0
+         ~data:(Bytes.create 3) ~on_done:ignore
+     with Invalid_argument m -> seen := m :: !seen);
+    respond 0L
+  in
+  let soc =
+    B.Soc.create design ~behaviors:(function
+      | "Producer" -> probe
+      | _ -> fun _ _ ~respond -> respond 0L)
+  in
+  let handle = Runtime.Handle.create soc in
+  let producer_cmd, _, _ = intercore_config () in
+  let h =
+    Runtime.Handle.send handle ~system:"Producer" ~core:0 ~cmd:producer_cmd
+      ~args:[ ("base", 0L); ("count", 0L) ]
+  in
+  ignore (Runtime.Handle.await handle h);
+  check_int "three rejections" 3 (List.length !seen)
+
+let () =
+  Alcotest.run "rtl"
+    [
+      ( "circuit",
+        [
+          Alcotest.test_case "standalone" `Quick test_vecadd_circuit_standalone;
+          Alcotest.test_case "backpressure" `Quick
+            test_vecadd_circuit_backpressure;
+          Alcotest.test_case "verilog" `Quick test_vecadd_verilog;
+        ] );
+      ("vcd", [ Alcotest.test_case "dump" `Quick test_vcd_dump ]);
+      ( "bridge",
+        [
+          Alcotest.test_case "in soc" `Quick test_rtl_core_in_soc;
+          Alcotest.test_case "sequential commands" `Quick
+            test_rtl_core_sequential_commands;
+          Alcotest.test_case "missing ports" `Quick
+            test_rtl_missing_port_rejected;
+        ] );
+      ( "intercore",
+        [
+          Alcotest.test_case "pipeline" `Quick test_intercore_pipeline;
+          Alcotest.test_case "validation" `Quick test_intercore_validation;
+        ] );
+    ]
