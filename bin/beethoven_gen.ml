@@ -1,9 +1,11 @@
 (* beethoven_gen — elaborate a bundled accelerator configuration for a
    target platform and emit the generated artifacts (summary, Table-II
    style resource report, floorplan constraints, C++ bindings, Verilog
-   for RTL-DSL kernels, ASIC SRAM plans).
+   for RTL-DSL kernels, ASIC SRAM plans), or run the static analyzer
+   over bundled designs.
 
      dune exec bin/beethoven_gen.exe -- --design a3 --platform f1 --emit all
+     dune exec bin/beethoven_gen.exe -- lint --design all --platform f1
 *)
 
 open Cmdliner
@@ -20,6 +22,10 @@ let designs =
     ("stencil2d", fun n -> Kernels.Machsuite.(config Stencil2d ~n_cores:n));
     ("stencil3d", fun n -> Kernels.Machsuite.(config Stencil3d ~n_cores:n));
     ("mdknn", fun n -> Kernels.Machsuite.(config Md_knn ~n_cores:n));
+    ("fft", fun n -> Kernels.Machsuite_extra.(config Fft ~n_cores:n));
+    ("spmv", fun n -> Kernels.Machsuite_extra.(config Spmv ~n_cores:n));
+    ("kmp", fun n -> Kernels.Machsuite_extra.(config Kmp ~n_cores:n));
+    ("msort", fun n -> Kernels.Machsuite_extra.(config Merge_sort ~n_cores:n));
   ]
 
 let platforms =
@@ -102,6 +108,56 @@ let run design platform n_cores emit out_dir =
                 plans))
   end
 
+(* ---- lint subcommand: run Check/Lint over bundled designs ---- *)
+
+let lint design platform n_cores json werror waived =
+  let plat =
+    match List.assoc_opt platform platforms with
+    | Some p -> p
+    | None ->
+        Printf.eprintf "unknown platform %S (available: %s)\n" platform
+          (String.concat ", " (List.map fst platforms));
+        exit 2
+  in
+  let selected =
+    if design = "all" then designs
+    else
+      match List.assoc_opt design designs with
+      | Some f -> [ (design, f) ]
+      | None ->
+          Printf.eprintf "unknown design %S (available: all, %s)\n" design
+            (String.concat ", " (List.map fst designs));
+          exit 2
+  in
+  let diags =
+    List.concat_map
+      (fun (name, config_of) ->
+        match config_of n_cores with
+        | config ->
+            List.map
+              (fun (d : Hw.Diag.t) ->
+                let loc =
+                  match d.Hw.Diag.loc with
+                  | Some l -> name ^ ": " ^ l
+                  | None -> name
+                in
+                { d with Hw.Diag.loc = Some loc })
+              (Beethoven.Check.run config plat)
+        | exception (Failure m | Invalid_argument m) ->
+            [
+              Hw.Diag.make ~loc:name ~rule:"drc-config"
+                ~severity:Hw.Diag.Error
+                ("configuration failed to construct: " ^ m);
+            ])
+      selected
+  in
+  let diags = Hw.Diag.waive ~rules:waived diags in
+  let diags = if werror then Hw.Diag.promote_warnings diags else diags in
+  let diags = Hw.Diag.sort diags in
+  if json then print_endline (Hw.Diag.render_json diags)
+  else print_endline (Hw.Diag.render diags);
+  if Hw.Diag.has_errors diags then exit 1
+
 let design_arg =
   let doc = "Bundled design to elaborate: " ^ String.concat ", " (List.map fst designs) in
   Arg.(value & opt string "vecadd" & info [ "design"; "d" ] ~docv:"NAME" ~doc)
@@ -122,9 +178,58 @@ let out_arg =
   let doc = "Write artifacts into this directory instead of stdout." in
   Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"DIR" ~doc)
 
+let lint_design_arg =
+  let doc =
+    "Design to lint, or $(b,all): "
+    ^ String.concat ", " (List.map fst designs)
+  in
+  Arg.(value & opt string "all" & info [ "design"; "d" ] ~docv:"NAME" ~doc)
+
+let json_arg =
+  let doc = "Emit diagnostics as JSON instead of text." in
+  Arg.(value & flag & info [ "json" ] ~doc)
+
+let werror_arg =
+  let doc = "Treat warnings as errors." in
+  Arg.(value & flag & info [ "werror"; "Werror" ] ~doc)
+
+let waive_arg =
+  let doc = "Suppress a rule by id (repeatable), e.g. $(b,--waive async-read-mapping)." in
+  Arg.(value & opt_all string [] & info [ "waive"; "w" ] ~docv:"RULE" ~doc)
+
+let gen_term =
+  Term.(const run $ design_arg $ platform_arg $ cores_arg $ emit_arg $ out_arg)
+
+let lint_cmd =
+  let doc = "run the netlist linter and composer design-rule checker" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs $(b,Beethoven.Check) (composer design rules) and \
+         $(b,Hw.Lint) (netlist rules, for RTL-DSL kernels) over bundled \
+         designs. Exits 1 when any error-severity diagnostic remains \
+         after waivers.";
+      `S "RULES";
+      `P
+        (String.concat "; "
+           (List.map
+              (fun (id, sev, why) ->
+                Printf.sprintf "$(b,%s) (%s) %s" id
+                  (Hw.Diag.severity_name sev)
+                  why)
+              (Beethoven.Check.rules @ Hw.Lint.rules)));
+    ]
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc ~man)
+    Term.(
+      const lint $ lint_design_arg $ platform_arg $ cores_arg $ json_arg
+      $ werror_arg $ waive_arg)
+
 let cmd =
   let doc = "compose a Beethoven accelerator system and emit its artifacts" in
   let info = Cmd.info "beethoven_gen" ~version:"1.0" ~doc in
-  Cmd.v info Term.(const run $ design_arg $ platform_arg $ cores_arg $ emit_arg $ out_arg)
+  Cmd.group ~default:gen_term info [ lint_cmd ]
 
 let () = exit (Cmd.eval cmd)

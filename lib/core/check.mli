@@ -1,0 +1,47 @@
+(** Composer design-rule checker.
+
+    Validates a {!Config.t} against a target platform {e before}
+    elaboration, so a configuration that can never map to the device is
+    rejected with actionable diagnostics instead of a mid-elaboration
+    exception (or, worse, a netlist the tool flow rejects hours later).
+    Shares the {!Hw.Diag} framework with the netlist linter; rule ids are
+    waiver keys and the [--Werror] knob is {!Hw.Diag.promote_warnings}.
+
+    Rule catalog (see {!rules}):
+
+    - [drc-name-collision] (error) — duplicate system / channel /
+      scratchpad / command names (re-validated here because the config
+      record type is open: {!Config.make}'s checks can be bypassed).
+    - [drc-core-count] (error) — a system with fewer than 1 or more than
+      1024 cores; 1024 is the RoCC [core_id] encoding limit.
+    - [drc-rocc-encoding] (error) — more systems than RoCC [system_id]
+      can address (256), a funct outside [0, 127], or a command payload
+      beyond 8 beats.
+    - [drc-funct-collision] (error) — two commands of one system sharing
+      a funct: the decoder could not tell them apart.
+    - [drc-dangling-ref] (error) — an intra-core port naming a system or
+      scratchpad that does not exist.
+    - [drc-axi-capacity] (warning) — more memory channel instances than
+      the platform has AXI IDs (channels will share IDs and serialize),
+      or a TLP channel whose in-flight depth exceeds the ID pool.
+    - [drc-scratchpad-capacity] (error/warning) — scratchpad requests
+      that exceed the platform's total block-memory bits (error), or the
+      preferred cell type's count so that spilling is certain (warning);
+      on ASIC targets, requests the SRAM compiler cannot realize (error).
+    - [drc-floorplan] (error) — the placement pre-check: some core fits
+      on no SLR.
+
+    Kernel circuits attached to systems are additionally run through
+    {!Hw.Lint.circuit} (with the platform's LUTRAM budget), and those
+    diagnostics are folded in under their original lint rule ids with the
+    system name prefixed to the location. *)
+
+val rules : (string * Hw.Diag.severity * string) list
+(** (rule id, default severity, one-line rationale) for the DRC-level
+    rules; lint rule ids are documented in {!Hw.Lint.rules}. *)
+
+val run :
+  ?lint_kernels:bool -> Config.t -> Platform.Device.t -> Hw.Diag.t list
+(** Run every design rule. [lint_kernels] (default [true]) controls the
+    per-system netlist lint pass. The result is unfiltered: apply
+    {!Hw.Diag.waive} / {!Hw.Diag.promote_warnings} for policy. *)

@@ -3,6 +3,7 @@ module R = Platform.Resources
 type t = {
   config : Config.t;
   platform : Platform.Device.t;
+  diagnostics : Hw.Diag.t list;
   floorplan : Floorplan.t;
   cmd_noc : Noc.t;
   mem_noc : Noc.t;
@@ -53,7 +54,16 @@ let cmd_ep_id config ~system ~core =
   in
   go 0 config.Config.systems
 
-let elaborate (config : Config.t) (platform : Platform.Device.t) =
+let elaborate ?(checks = true) (config : Config.t)
+    (platform : Platform.Device.t) =
+  let diagnostics =
+    if checks then begin
+      let diags = Check.run config platform in
+      Hw.Diag.raise_if_errors ~what:"design-rule check" diags;
+      diags
+    end
+    else []
+  in
   let floorplan = Floorplan.place config platform in
   let cores = all_cores config in
   (* command NoC: one endpoint per core *)
@@ -130,6 +140,7 @@ let elaborate (config : Config.t) (platform : Platform.Device.t) =
   {
     config;
     platform;
+    diagnostics;
     floorplan;
     cmd_noc;
     mem_noc;

@@ -9,6 +9,9 @@
 type t = {
   config : Config.t;
   platform : Platform.Device.t;
+  diagnostics : Hw.Diag.t list;
+      (** everything {!Check.run} reported (errors only ever appear here
+          when elaboration was forced with [~checks:false]) *)
   floorplan : Floorplan.t;
   cmd_noc : Noc.t;
   mem_noc : Noc.t;
@@ -21,7 +24,12 @@ type t = {
   sram_plans : (string * Platform.Sram.plan) list;  (** ASIC targets *)
 }
 
-val elaborate : Config.t -> Platform.Device.t -> t
+val elaborate : ?checks:bool -> Config.t -> Platform.Device.t -> t
+(** Runs {!Check.run} first (unless [~checks:false]) and raises [Failure]
+    with the rendered error diagnostics when any rule at error severity
+    fires — a configuration that cannot map to the platform never reaches
+    the downstream flow. Warnings and infos are retained in
+    [diagnostics]. *)
 
 val cmd_endpoint : t -> system:string -> core:int -> int
 val mem_endpoint : t -> system:string -> core:int -> channel:string -> int

@@ -37,92 +37,168 @@ let mem_of s =
   | Mem_read_async (m, _) | Mem_read_sync (m, _, _) -> Some m
   | _ -> None
 
+let kind_name s =
+  match kind s with
+  | Const _ -> "const"
+  | Input _ -> "input"
+  | Wire _ -> "wire"
+  | Op2 (op, _, _) -> (
+      match op with
+      | Add -> "add"
+      | Sub -> "sub"
+      | Mul -> "mul"
+      | And -> "and"
+      | Or -> "or"
+      | Xor -> "xor"
+      | Eq -> "eq"
+      | Lt -> "lt")
+  | Not _ -> "not"
+  | Shift _ -> "shift"
+  | Mux _ -> "mux"
+  | Select _ -> "select"
+  | Concat _ -> "concat"
+  | Reg _ -> "reg"
+  | Mem_read_async _ -> "mem-read-async"
+  | Mem_read_sync _ -> "mem-read-sync"
+
 let describe s =
   match name_of s with
-  | Some n -> Printf.sprintf "signal #%d (%s)" (uid s) n
-  | None -> Printf.sprintf "signal #%d" (uid s)
+  | Some n -> Printf.sprintf "signal #%d (%s, %s)" (uid s) n (kind_name s)
+  | None -> Printf.sprintf "signal #%d (%s)" (uid s) (kind_name s)
 
-let create ~name ~outputs =
-  (match outputs with [] -> failwith "Circuit.create: no outputs" | _ -> ());
+let analyze ~name ~outputs =
+  let diags = ref [] in
+  let add ?loc ?hint ~rule msg =
+    diags := Diag.make ?loc ?hint ~rule ~severity:Diag.Error msg :: !diags
+  in
+  (match outputs with [] -> add ~rule:"no-outputs" "no outputs" | _ -> ());
   let seen_ports = Hashtbl.create 8 in
   List.iter
     (fun (port, _) ->
       if Hashtbl.mem seen_ports port then
-        failwith ("Circuit.create: duplicate output port " ^ port);
-      Hashtbl.add seen_ports port ())
+        add ~rule:"dup-output-port" ("duplicate output port " ^ port)
+      else Hashtbl.add seen_ports port ())
     outputs;
   let visited = Hashtbl.create 256 in
   let all_nodes = ref [] in
   let memories : (int, Signal.Mem.mem) Hashtbl.t = Hashtbl.create 8 in
   (* Reach every node (combinational + sequential edges + memory write
-     ports). *)
-  let rec reach s =
+     ports), recording the first consumer of each for error context. An
+     unassigned wire is reported as a diagnostic and treated as a source
+     so the rest of the graph can still be checked. *)
+  let rec reach ~from s =
     if not (Hashtbl.mem visited (uid s)) then begin
       Hashtbl.add visited (uid s) ();
       all_nodes := s :: !all_nodes;
       (match kind s with
       | Wire r when Option.is_none !r ->
-          failwith ("Circuit.create: unassigned wire: " ^ describe s)
+          add ~rule:"undriven-wire" ~loc:(describe s)
+            ~hint:"drive the wire with Signal.assign before building the \
+                   circuit"
+            ("unassigned wire: " ^ describe s ^ ", first referenced by "
+           ^ from)
       | _ -> ());
       (match mem_of s with
       | Some m ->
           if not (Hashtbl.mem memories (mem_uid m)) then begin
             Hashtbl.add memories (mem_uid m) m;
+            let from = Printf.sprintf "memory %s write port" (mem_name m) in
             List.iter
               (fun wp ->
-                reach wp.wp_enable;
-                reach wp.wp_addr;
-                reach wp.wp_data)
+                reach ~from wp.wp_enable;
+                reach ~from wp.wp_addr;
+                reach ~from wp.wp_data)
               (mem_write_ports m)
           end
       | None -> ());
-      List.iter reach (comb_deps s);
-      List.iter reach (seq_deps s)
+      let from = describe s in
+      List.iter (reach ~from) (comb_deps s);
+      List.iter (reach ~from) (seq_deps s)
     end
   in
-  List.iter (fun (_, s) -> reach s) outputs;
-  (* Topological sort of combinational dependencies, detecting cycles. *)
+  List.iter (fun (port, s) -> reach ~from:("output " ^ port) s) outputs;
+  (* Topological sort of combinational dependencies, detecting cycles.
+     [path] holds the grey ancestors, most recent first, so a back-edge
+     can report the full cycle. *)
   let color = Hashtbl.create 256 in
-  (* 0 = white (absent), 1 = grey, 2 = black *)
+  (* 1 = grey, 2 = black *)
   let topo = ref [] in
-  let rec visit s =
+  let rec visit path s =
     match Hashtbl.find_opt color (uid s) with
     | Some 2 -> ()
-    | Some _ -> failwith ("Circuit.create: combinational loop at " ^ describe s)
+    | Some _ ->
+        (* dependency-ordered slice of [path] back to [s] *)
+        let cycle =
+          let rec upto acc = function
+            | [] -> acc
+            | x :: rest ->
+                if uid x = uid s then x :: acc else upto (x :: acc) rest
+          in
+          upto [] path
+        in
+        add ~rule:"comb-loop" ~loc:(describe s)
+          ~hint:"break the cycle with a register"
+          ("combinational loop: "
+          ^ String.concat " -> " (List.map describe (cycle @ [ s ])))
     | None ->
         Hashtbl.add color (uid s) 1;
-        List.iter visit (comb_deps s);
+        List.iter (visit (s :: path)) (comb_deps s);
         Hashtbl.replace color (uid s) 2;
         topo := s :: !topo
   in
-  List.iter visit !all_nodes;
-  let topo = List.rev !topo in
-  let inputs_tbl = Hashtbl.create 8 in
-  List.iter
-    (fun s ->
-      match kind s with
-      | Input n -> (
-          match Hashtbl.find_opt inputs_tbl n with
-          | Some w when w <> width s ->
-              failwith ("Circuit.create: input " ^ n ^ " used at two widths")
-          | Some _ -> ()
-          | None -> Hashtbl.add inputs_tbl n (width s))
-      | _ -> ())
-    !all_nodes;
-  let inputs =
-    Hashtbl.fold (fun n w acc -> (n, w) :: acc) inputs_tbl []
-    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-  in
-  let registers =
-    List.filter (fun s -> match kind s with Reg _ -> true | _ -> false) !all_nodes
-  in
-  let sync_reads =
-    List.filter
-      (fun s -> match kind s with Mem_read_sync _ -> true | _ -> false)
-      !all_nodes
-  in
-  let memories = Hashtbl.fold (fun _ m acc -> m :: acc) memories [] in
-  { name; outputs; inputs; topo; registers; memories; sync_reads }
+  List.iter (visit []) !all_nodes;
+  match List.rev !diags with
+  | _ :: _ as diags -> Error diags
+  | [] ->
+      let topo = List.rev !topo in
+      let inputs_tbl = Hashtbl.create 8 in
+      let input_diags = ref [] in
+      List.iter
+        (fun s ->
+          match kind s with
+          | Input n -> (
+              match Hashtbl.find_opt inputs_tbl n with
+              | Some w when w <> width s ->
+                  input_diags :=
+                    Diag.make ~rule:"input-width-conflict"
+                      ~severity:Diag.Error ~loc:(describe s)
+                      ("input " ^ n ^ " used at two widths")
+                    :: !input_diags
+              | Some _ -> ()
+              | None -> Hashtbl.add inputs_tbl n (width s))
+          | _ -> ())
+        !all_nodes;
+      if !input_diags <> [] then Error (List.rev !input_diags)
+      else
+        let inputs =
+          Hashtbl.fold (fun n w acc -> (n, w) :: acc) inputs_tbl []
+          |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        in
+        let registers =
+          List.filter
+            (fun s -> match kind s with Reg _ -> true | _ -> false)
+            !all_nodes
+        in
+        let sync_reads =
+          List.filter
+            (fun s -> match kind s with Mem_read_sync _ -> true | _ -> false)
+            !all_nodes
+        in
+        let memories = Hashtbl.fold (fun _ m acc -> m :: acc) memories [] in
+        Ok { name; outputs; inputs; topo; registers; memories; sync_reads }
+
+let create ~name ~outputs =
+  match analyze ~name ~outputs with
+  | Ok t -> t
+  | Error (first :: rest) ->
+      let extra =
+        if rest = [] then ""
+        else
+          "\n"
+          ^ String.concat "\n" (List.map (fun d -> d.Diag.message) rest)
+      in
+      failwith ("Circuit.create: " ^ first.Diag.message ^ extra)
+  | Error [] -> assert false
 
 let name t = t.name
 let outputs t = t.outputs

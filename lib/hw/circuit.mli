@@ -3,13 +3,21 @@
     [create] walks the graph, checks that every wire is assigned and that
     there are no combinational cycles, and records a topological order of
     the combinational logic used by both the simulator and the Verilog
-    printer. *)
+    printer. [analyze] is the soft path: the same checks reported as
+    {!Diag} diagnostics instead of an exception, used by {!Lint}. *)
 
 type t
 
+val analyze :
+  name:string -> outputs:(string * Signal.t) list -> (t, Diag.t list) result
+(** Structural check without raising: returns [Error diags] listing every
+    problem found (rules [no-outputs], [dup-output-port], [undriven-wire]
+    with the first consumer as context, [comb-loop] with the full cycle
+    path, [input-width-conflict]) or [Ok circuit] when clean. *)
+
 val create : name:string -> outputs:(string * Signal.t) list -> t
 (** Raises [Failure] on dangling wires, duplicate port names, or
-    combinational loops (with the offending signal's uid/name). *)
+    combinational loops (reporting the full cycle path: names + kinds). *)
 
 val name : t -> string
 val outputs : t -> (string * Signal.t) list
@@ -28,3 +36,17 @@ val sync_reads : t -> Signal.t list
 val stats : t -> (string * int) list
 (** Node-count statistics: regs, memories, total nodes, etc. (used by the
     resource estimator). *)
+
+(** {1 Graph introspection (used by {!Lint} and the back-ends)} *)
+
+val comb_deps : Signal.t -> Signal.t list
+(** Combinational fan-in: signals whose current-cycle value the node
+    needs. Empty for registers and synchronous reads. *)
+
+val seq_deps : Signal.t -> Signal.t list
+(** Fan-in of sequential elements, sampled at the cycle boundary. *)
+
+val mem_of : Signal.t -> Signal.Mem.mem option
+val kind_name : Signal.t -> string
+val describe : Signal.t -> string
+(** ["signal #12 (count, wire)"] — uid, name when present, kind. *)

@@ -34,9 +34,21 @@ and mem_t = {
 
 let next_id = ref 0
 
+(* innermost active tracking scope, if any (see [tracking]) *)
+let trace : t list ref option ref = ref None
+
 let fresh width knd =
   incr next_id;
-  { id = !next_id; width; knd; name = None }
+  let s = { id = !next_id; width; knd; name = None } in
+  (match !trace with Some acc -> acc := s :: !acc | None -> ());
+  s
+
+let tracking f =
+  let acc = ref [] in
+  let saved = !trace in
+  trace := Some acc;
+  let r = Fun.protect ~finally:(fun () -> trace := saved) f in
+  (r, List.rev !acc)
 
 let uid t = t.id
 let width t = t.width
@@ -116,6 +128,12 @@ let mux sel cases =
   | [] -> invalid_arg "Signal.mux: no cases"
   | first :: rest ->
       List.iter (same_width "mux" first) rest;
+      let n = List.length cases in
+      if sel.width < Sys.int_size - 2 && n > 1 lsl sel.width then
+        invalid_arg
+          (Printf.sprintf
+             "Signal.mux: %d-bit selector can only reach %d of %d cases"
+             sel.width (1 lsl sel.width) n);
       fresh first.width (Mux (sel, cases))
 
 let select t ~hi ~lo =
@@ -185,11 +203,22 @@ module Mem = struct
     in
     { m_id = !next_id; m_name; m_size = size; m_width = width; m_writes = [] }
 
+  (* bits needed to index [size] entries (>= 1: an address port always has
+     at least one bit) *)
+  let addr_bits_for size =
+    let rec go k = if 1 lsl k >= size then k else go (k + 1) in
+    max 1 (go 0)
+
   let addr_ok m addr =
-    (* address width just needs to be able to index the memory; wider
-       addresses are accepted and range-checked at simulation time *)
-    ignore m;
-    ignore addr
+    (* the address must be able to reach every entry; wider addresses are
+       accepted here and range-checked at simulation time (the linter
+       flags them) *)
+    if addr.width < addr_bits_for m.m_size then
+      invalid_arg
+        (Printf.sprintf
+           "Signal.Mem: %d-bit address cannot index %s (%d entries need %d \
+            bits)"
+           addr.width m.m_name m.m_size (addr_bits_for m.m_size))
 
   let write m ~enable ~addr ~data =
     if enable.width <> 1 then invalid_arg "Mem.write: enable must be 1 bit";
@@ -216,6 +245,7 @@ let ( -- ) t n =
 
 let name_of t = t.name
 let mem_uid (m : mem_t) = m.m_id
+let mem_addr_bits (m : mem_t) = Mem.addr_bits_for m.m_size
 let mem_size (m : mem_t) = m.m_size
 let mem_width (m : mem_t) = m.m_width
 let mem_name (m : mem_t) = m.m_name

@@ -60,7 +60,10 @@ val mux2 : t -> t -> t -> t
 
 val mux : t -> t list -> t
 (** [mux sel cases] selects [cases[sel]]; out-of-range selects the last
-    case. At least one case required, all the same width. *)
+    case. At least one case required, all the same width. Raises
+    [Invalid_argument] when the selector is too narrow to reach every
+    case (e.g. a 1-bit selector with three cases) — the extra cases
+    would be silently unreachable. *)
 
 val select : t -> hi:int -> lo:int -> t
 val bit : t -> int -> t
@@ -94,7 +97,12 @@ module Mem : sig
       reads observe the pre-write contents (read-first). *)
 
   val create : ?name:string -> size:int -> width:int -> unit -> mem
+
   val write : mem -> enable:t -> addr:t -> data:t -> unit
+  (** All ports raise [Invalid_argument] when the address is too narrow to
+      index every entry of the memory; wider addresses are accepted (and
+      range-checked at simulation time), but {!Lint} flags them. *)
+
   val read_async : mem -> addr:t -> t
   val read_sync : mem -> ?enable:t -> addr:t -> unit -> t
   val size : mem -> int
@@ -107,6 +115,17 @@ val ( -- ) : t -> string -> t
 (** Attach a debug/Verilog name. *)
 
 val name_of : t -> string option
+
+(** {1 Construction tracking}
+
+    {!Lint} can only find dead logic (nodes that never reach an output) if
+    it knows what was built, since a {!Circuit} keeps reachable nodes
+    only. *)
+
+val tracking : (unit -> 'a) -> 'a * t list
+(** [tracking f] runs [f] and additionally returns every signal created
+    during the call, in creation order. Nested calls record into the
+    innermost scope. *)
 
 (** {1 Internals exposed for Circuit/Cyclesim/Verilog} *)
 
@@ -133,6 +152,10 @@ val kind : t -> kind
 type write_port = { wp_enable : t; wp_addr : t; wp_data : t }
 
 val mem_uid : Mem.mem -> int
+
+val mem_addr_bits : Mem.mem -> int
+(** Bits needed to index every entry (>= 1). *)
+
 val mem_size : Mem.mem -> int
 val mem_width : Mem.mem -> int
 val mem_name : Mem.mem -> string

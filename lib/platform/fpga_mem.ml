@@ -3,6 +3,11 @@ type choice = { cell : cell; count : int }
 
 let bram_bits = 36 * 1024
 let uram_bits = 288 * 1024
+
+(* largest request realized as distributed RAM (LUTRAM) instead of block
+   cells; also the async-read budget the netlist linter checks against *)
+let lutram_max_bits = 1024
+
 let cdiv a b = ((a - 1) / b) + 1
 
 (* BRAM36 aspect ratios (width x depth). *)
@@ -21,7 +26,7 @@ let urams_for ~width_bits ~depth =
   cdiv width_bits 72 * cdiv depth 4096
 
 let preferred ~width_bits ~depth =
-  if width_bits * depth <= 1024 then { cell = Lutram; count = 0 }
+  if width_bits * depth <= lutram_max_bits then { cell = Lutram; count = 0 }
   else begin
     let nb = brams_for ~width_bits ~depth in
     let nu = urams_for ~width_bits ~depth in

@@ -12,6 +12,11 @@ val bram_bits : int (** 36 Kb *)
 
 val uram_bits : int (** 288 Kb *)
 
+val lutram_max_bits : int
+(** Largest request (in bits) realized as distributed RAM; beyond this the
+    composer uses BRAM/URAM, whose reads are synchronous — the figure the
+    netlist linter's [async-read-mapping] rule checks against. *)
+
 val brams_for : width_bits:int -> depth:int -> int
 (** Minimum BRAM36 count over the supported aspect ratios
     (72x512, 36x1024, 18x2048, 9x4096, ...). *)
