@@ -445,6 +445,28 @@ let ablation_a3_rtl () =
     r.Attention.A3_rtl_core.cycles_per_query
     Attention.A3.issue_interval_cycles
 
+let ablation_fault () =
+  header "Fault campaign — memcpy under a scaled recoverable fault mix"
+    "Seeded injection through the full host path (DMA, commands, device\n\
+     memory). Expected shape: throughput degrades monotonically as rates\n\
+     scale (retries + watchdog resends burn wall time) while the recovery\n\
+     stack keeps every round-trip byte-exact; a hung core costs one\n\
+     quarantine and a reroute, never a wedged simulation.";
+  print_string
+    (Kernels.Campaign.render_curve
+       (Kernels.Campaign.degradation ~seed:42 ~bytes:(16 * 1024) ~iters:2
+          ~platform:f1_one_channel ()));
+  let hang_plan =
+    Fault.Plan.with_hang ~after:1 ~system:0 ~core:0
+      (Fault.Plan.default_recoverable ~seed:42 ())
+  in
+  let r =
+    Kernels.Campaign.run ~plan:hang_plan ~bytes:(16 * 1024) ~iters:3
+      ~n_cores:2 ~platform:f1_one_channel ()
+  in
+  Printf.printf "\nwith a core-0 hang injected at its first dispatch:\n%s"
+    (Kernels.Campaign.render r)
+
 let ablation_dse () =
   header "Ablation — design-space exploration"
     "Elaboration-time DSE: the floorplanner rejects infeasible core\n\
@@ -548,6 +570,7 @@ let experiments =
     ("ablation-a3-cores", ablation_a3_cores);
     ("ablation-refresh", ablation_refresh);
     ("ablation-dse", ablation_dse);
+    ("fault", ablation_fault);
     ("extra-kernels", ablation_extra_kernels);
     ("a3-rtl", ablation_a3_rtl);
   ]

@@ -197,6 +197,102 @@ let waive_arg =
   let doc = "Suppress a rule by id (repeatable), e.g. $(b,--waive async-read-mapping)." in
   Arg.(value & opt_all string [] & info [ "waive"; "w" ] ~docv:"RULE" ~doc)
 
+(* ---- fault-campaign subcommand: seeded fault injection on memcpy ---- *)
+
+let fault_campaign seed bytes iters cores platform hang scale curve show_log =
+  let plat =
+    match List.assoc_opt platform platforms with
+    | Some p -> p
+    | None ->
+        Printf.eprintf "unknown platform %S (available: %s)\n" platform
+          (String.concat ", " (List.map fst platforms));
+        exit 2
+  in
+  if curve then begin
+    print_string
+      (Kernels.Campaign.render_curve
+         (Kernels.Campaign.degradation ~seed ~bytes ~iters ~platform:plat ()))
+  end
+  else begin
+    let plan =
+      Fault.Plan.scale scale (Fault.Plan.default_recoverable ~seed ())
+    in
+    let plan =
+      if hang then Fault.Plan.with_hang ~after:1 ~system:0 ~core:0 plan
+      else plan
+    in
+    let r =
+      Kernels.Campaign.run ~plan ~bytes ~iters ~n_cores:cores ~platform:plat ()
+    in
+    print_string (Kernels.Campaign.render r);
+    if show_log then
+      print_string (Fault.Log.render r.Kernels.Campaign.log);
+    (* gate for CI: every injected fault resolved, every byte verified *)
+    if not (Kernels.Campaign.clean r) then exit 1
+  end
+
+let seed_arg =
+  let doc = "Campaign seed. The same seed reproduces the same fault log." in
+  Arg.(value & opt int 42 & info [ "seed"; "s" ] ~docv:"N" ~doc)
+
+let bytes_arg =
+  let doc = "Payload size per memcpy round-trip, in bytes (8-aligned)." in
+  Arg.(value & opt int (64 * 1024) & info [ "bytes"; "b" ] ~docv:"N" ~doc)
+
+let iters_arg =
+  let doc = "Number of memcpy round-trips in the campaign." in
+  Arg.(value & opt int 4 & info [ "iters"; "i" ] ~docv:"N" ~doc)
+
+let campaign_cores_arg =
+  let doc =
+    "Cores in the memcpy system (>= 2 lets the watchdog reroute after a \
+     quarantine)."
+  in
+  Arg.(value & opt int 2 & info [ "cores"; "n" ] ~docv:"N" ~doc)
+
+let hang_arg =
+  let doc =
+    "Additionally hang core 0 at its first command dispatch, exercising \
+     the timeout -> quarantine -> reroute path."
+  in
+  Arg.(value & flag & info [ "hang" ] ~doc)
+
+let scale_arg =
+  let doc = "Multiply every fault rate in the default mix by this factor." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"X" ~doc)
+
+let curve_arg =
+  let doc =
+    "Run the throughput-degradation curve (fault rates x0 to x4) instead \
+     of a single campaign."
+  in
+  Arg.(value & flag & info [ "curve" ] ~doc)
+
+let log_arg =
+  let doc = "Print the full chronological fault log." in
+  Arg.(value & flag & info [ "log" ] ~doc)
+
+let fault_cmd =
+  let doc = "run a seeded fault-injection campaign on the memcpy kernel" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Replays the memcpy microbenchmark through the full host path \
+         (malloc, DMA, command, response, DMA, verification) while a \
+         deterministic injector flips DRAM bits, errors AXI bursts, \
+         drops and delays fabric messages, fails DMA transfers, and \
+         (with $(b,--hang)) wedges a core. Exits 1 unless every injected \
+         fault was recovered and every byte verified.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "fault-campaign" ~doc ~man)
+    Term.(
+      const fault_campaign $ seed_arg $ bytes_arg $ iters_arg
+      $ campaign_cores_arg $ platform_arg $ hang_arg $ scale_arg $ curve_arg
+      $ log_arg)
+
 let gen_term =
   Term.(const run $ design_arg $ platform_arg $ cores_arg $ emit_arg $ out_arg)
 
@@ -230,6 +326,6 @@ let lint_cmd =
 let cmd =
   let doc = "compose a Beethoven accelerator system and emit its artifacts" in
   let info = Cmd.info "beethoven_gen" ~version:"1.0" ~doc in
-  Cmd.group ~default:gen_term info [ lint_cmd ]
+  Cmd.group ~default:gen_term info [ lint_cmd; fault_cmd ]
 
 let () = exit (Cmd.eval cmd)

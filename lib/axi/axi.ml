@@ -1,3 +1,14 @@
+module Resp = struct
+  type t = Okay | Slverr | Decerr
+
+  let name = function
+    | Okay -> "OKAY"
+    | Slverr -> "SLVERR"
+    | Decerr -> "DECERR"
+
+  let is_error = function Okay -> false | Slverr | Decerr -> true
+end
+
 module Params = struct
   type t = { data_bytes : int; max_burst_beats : int; n_ids : int }
 
@@ -105,7 +116,7 @@ type txn = {
   txn_beats : int;
   txn_dir : Dram.dir;
   txn_on_beat : beat:int -> unit;
-  txn_on_done : unit -> unit;
+  txn_on_done : Resp.t -> unit;
   txn_issued_at : int;
 }
 
@@ -116,6 +127,7 @@ type t = {
   dram : Dram.t;
   prm : Params.t;
   trace : Trace.t option;
+  fault : Fault.Injector.t option;
   (* Per-(direction, id) queues. At most one transaction per queue is in
      flight at the DRAM; the rest wait — same-ID ordering. *)
   read_queues : id_queue array;
@@ -124,14 +136,16 @@ type t = {
   write_latency : Desim.Stats.series;
   mutable reads_issued : int;
   mutable writes_issued : int;
+  mutable error_responses : int;
 }
 
-let create ?trace engine dram prm =
+let create ?trace ?fault engine dram prm =
   {
     engine;
     dram;
     prm;
     trace;
+    fault;
     read_queues =
       Array.init prm.Params.n_ids (fun _ ->
           { q = Queue.create (); in_flight = false });
@@ -142,6 +156,7 @@ let create ?trace engine dram prm =
     write_latency = Desim.Stats.series ();
     reads_issued = 0;
     writes_issued = 0;
+    error_responses = 0;
   }
 
 let params t = t.prm
@@ -165,6 +180,46 @@ let rec launch t queue =
   | Some _ when queue.in_flight -> ()
   | Some txn ->
       queue.in_flight <- true;
+      let injected_resp =
+        match t.fault with
+        | None -> None
+        | Some inj ->
+            let cls =
+              match txn.txn_dir with
+              | Dram.Read -> Fault.Class.Axi_read_error
+              | Dram.Write -> Fault.Class.Axi_write_error
+            in
+            if Fault.Injector.decide inj cls then begin
+              let resp =
+                if Fault.Injector.draw_int inj ~bound:4 = 0 then Resp.Decerr
+                else Resp.Slverr
+              in
+              Fault.Injector.log inj
+                ~now:(Desim.Engine.now t.engine)
+                ~cls ~kind:Fault.Log.Injected
+                ~site:
+                  (Printf.sprintf "axi %s id=%d addr=0x%x beats=%d -> %s"
+                     (match txn.txn_dir with
+                     | Dram.Read -> "rd"
+                     | Dram.Write -> "wr")
+                     txn.txn_id txn.txn_addr txn.txn_beats (Resp.name resp));
+              Some resp
+            end
+            else None
+      in
+      (match injected_resp with
+      | Some resp ->
+          (* the slave errors the whole burst: no data beats, an error
+             response after roughly a CAS latency *)
+          let cfg = Dram.config t.dram in
+          let err_latency = cfg.Dram.Config.cl * cfg.Dram.Config.tck_ps in
+          t.error_responses <- t.error_responses + 1;
+          Desim.Engine.schedule t.engine ~delay:err_latency (fun () ->
+              queue.in_flight <- false;
+              ignore (Queue.pop queue.q);
+              txn.txn_on_done resp;
+              launch t queue)
+      | None ->
       let data_bytes = t.prm.Params.data_bytes in
       let chunk_bytes = Dram.Config.burst_bytes (Dram.config t.dram) in
       (* wide AXI beats span several DRAM chunks; narrow beats share one *)
@@ -223,9 +278,9 @@ let rec launch t queue =
           ;
           queue.in_flight <- false;
           ignore (Queue.pop queue.q);
-          txn.txn_on_done ();
+          txn.txn_on_done Resp.Okay;
           launch t queue)
-        ()
+        ())
 
 let enqueue t queue txn =
   Queue.push txn queue.q;
@@ -263,6 +318,7 @@ let write t ~id ~addr ~beats ~on_done =
       txn_issued_at = now;
     }
 
+let error_responses t = t.error_responses
 let read_latency t = t.read_latency
 let write_latency t = t.write_latency
 let reads_issued t = t.reads_issued

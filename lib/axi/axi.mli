@@ -8,6 +8,16 @@
     may complete out of order. A {!Trace} records the channel events used
     to regenerate Fig. 5. *)
 
+module Resp : sig
+  type t =
+    | Okay
+    | Slverr  (** slave error — the transaction reached a slave that failed *)
+    | Decerr  (** decode error — no slave claimed the address *)
+
+  val name : t -> string
+  val is_error : t -> bool
+end
+
 module Params : sig
   type t = {
     data_bytes : int;  (** bytes per data beat (64 on the F1 shell) *)
@@ -58,7 +68,15 @@ end
 type t
 
 val create :
-  ?trace:Trace.t -> Desim.Engine.t -> Dram.t -> Params.t -> t
+  ?trace:Trace.t ->
+  ?fault:Fault.Injector.t ->
+  Desim.Engine.t ->
+  Dram.t ->
+  Params.t ->
+  t
+(** With [fault], each burst reaching the head of its ID queue may be
+    turned into a transient SLVERR/DECERR: no data beats fire and the
+    error response arrives after roughly a CAS latency. *)
 
 val params : t -> Params.t
 
@@ -68,16 +86,17 @@ val read :
   addr:int ->
   beats:int ->
   on_beat:(beat:int -> unit) ->
-  on_done:(unit -> unit) ->
+  on_done:(Resp.t -> unit) ->
   unit
 (** Issue one read burst. [on_beat] fires as each data beat is delivered in
-    order; [on_done] after the last beat. Raises [Invalid_argument] for
+    order; [on_done] after the last beat with the response code (on an
+    error response no beats fire at all). Raises [Invalid_argument] for
     illegal bursts (too long, 4 KB crossing, bad id). *)
 
 val write :
-  t -> id:int -> addr:int -> beats:int -> on_done:(unit -> unit) -> unit
+  t -> id:int -> addr:int -> beats:int -> on_done:(Resp.t -> unit) -> unit
 (** Issue one write burst; the master is assumed to supply write data at
-    full rate. [on_done] fires with the B response. *)
+    full rate. [on_done] fires with the B response code. *)
 
 (** {1 Statistics} *)
 
@@ -87,3 +106,6 @@ val read_latency : t -> Desim.Stats.series
 val write_latency : t -> Desim.Stats.series
 val reads_issued : t -> int
 val writes_issued : t -> int
+
+val error_responses : t -> int
+(** Number of injected SLVERR/DECERR responses returned. *)

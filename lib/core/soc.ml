@@ -20,6 +20,8 @@ type t = {
   mutable coherent_txns : int;
   mutable cores : core_inst array; (* indexed by command endpoint id *)
   mutable next_axi_id : int;
+  fault : Fault.Injector.t option;
+  policy : Fault.Policy.t;
 }
 
 and ctx = {
@@ -39,6 +41,8 @@ and core_inst = {
   ci_queue : (Rocc.t list * (int64 -> unit)) Queue.t;
   mutable ci_partial : Rocc.t list;
   mutable ci_busy : bool;
+  mutable ci_hung : bool;
+  mutable ci_partial_epoch : int;
 }
 
 and behavior = ctx -> Rocc.t list -> respond:(int64 -> unit) -> unit
@@ -117,6 +121,30 @@ let coherence_ps t =
   else 0
 
 (* ------------------------------------------------------------------ *)
+(* Fault-recovery accounting                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Every injected AXI error is resolved exactly once: [Recovered] when a
+   retry eventually succeeds, [Unrecovered] when the retry budget runs
+   out. [n] failed attempts resolve together. *)
+let fault_resolve t ~cls ~n ~recovered ~site =
+  match t.fault with
+  | None -> ()
+  | Some inj ->
+      let kind =
+        if recovered then Fault.Log.Recovered else Fault.Log.Unrecovered
+      in
+      let now = Desim.Engine.now t.engine in
+      for _ = 1 to n do
+        Fault.Injector.log inj ~now ~cls ~kind ~site
+      done
+
+let axi_retry_budget t = t.policy.Fault.Policy.axi_max_retries
+
+let axi_backoff t ~attempt =
+  t.policy.Fault.Policy.axi_backoff_ps * (1 lsl min attempt 10)
+
+(* ------------------------------------------------------------------ *)
 (* Reader                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -189,29 +217,61 @@ module Reader = struct
       then begin
         let si = !next_seg in
         incr next_seg;
-        let seg = segs.(si) in
-        free_beats := !free_beats - seg.Axi.Burst.beats;
+        free_beats := !free_beats - segs.(si).Axi.Burst.beats;
         incr in_flight;
-        let id = pick_id r si in
-        (* request travels through the memory NoC (+ coherence snoop on
-           embedded platforms) *)
-        Desim.Engine.schedule engine
-          ~delay:(r.r_noc_ps + coherence_ps r.r_soc)
-          (fun () ->
-            Axi.read r.r_axi ~id ~addr:seg.Axi.Burst.addr
-              ~beats:seg.Axi.Burst.beats
-              ~on_beat:(fun ~beat ->
-                (* data beat returns through the NoC *)
-                Desim.Engine.schedule engine ~delay:r.r_noc_ps (fun () ->
-                    beat_time.(seg_base.(si) + beat) <-
-                      Desim.Engine.now engine;
-                    arrived.(si) <- arrived.(si) + 1;
-                    pump ()))
-              ~on_done:(fun () ->
-                decr in_flight;
-                try_issue ()));
+        issue_seg si 0;
         try_issue ()
       end
+    and issue_seg si attempt =
+      let seg = segs.(si) in
+      let id = pick_id r si in
+      let site =
+        Printf.sprintf "%s rd seg@0x%x" r.r_cfg.Config.rc_name
+          seg.Axi.Burst.addr
+      in
+      (* request travels through the memory NoC (+ coherence snoop on
+         embedded platforms) *)
+      Desim.Engine.schedule engine
+        ~delay:(r.r_noc_ps + coherence_ps r.r_soc)
+        (fun () ->
+          Axi.read r.r_axi ~id ~addr:seg.Axi.Burst.addr
+            ~beats:seg.Axi.Burst.beats
+            ~on_beat:(fun ~beat ->
+              (* data beat returns through the NoC *)
+              Desim.Engine.schedule engine ~delay:r.r_noc_ps (fun () ->
+                  beat_time.(seg_base.(si) + beat) <-
+                    Desim.Engine.now engine;
+                  arrived.(si) <- arrived.(si) + 1;
+                  pump ()))
+            ~on_done:(fun resp ->
+              match resp with
+              | Axi.Resp.Okay ->
+                  fault_resolve r.r_soc ~cls:Fault.Class.Axi_read_error
+                    ~n:attempt ~recovered:true ~site;
+                  decr in_flight;
+                  try_issue ()
+              | Axi.Resp.Slverr | Axi.Resp.Decerr ->
+                  if attempt < axi_retry_budget r.r_soc then
+                    Desim.Engine.schedule engine
+                      ~delay:(axi_backoff r.r_soc ~attempt)
+                      (fun () -> issue_seg si (attempt + 1))
+                  else begin
+                    (* retry budget exhausted: declare the burst lost but
+                       keep the stream alive — its beats complete so the
+                       pipeline never wedges *)
+                    fault_resolve r.r_soc ~cls:Fault.Class.Axi_read_error
+                      ~n:(attempt + 1) ~recovered:false ~site;
+                    let now = Desim.Engine.now engine in
+                    for b = 0 to seg.Axi.Burst.beats - 1 do
+                      if beat_time.(seg_base.(si) + b) = max_int then begin
+                        beat_time.(seg_base.(si) + b) <- now;
+                        arrived.(si) <- arrived.(si) + 1
+                      end
+                    done;
+                    decr in_flight;
+                    pump ();
+                    try_issue ()
+                  end))
     and pump () =
       if not !pumping then begin
         pumping := true;
@@ -279,25 +339,48 @@ module Reader = struct
       then begin
         let si = !next_seg in
         incr next_seg;
-        let seg = segs.(si) in
         incr in_flight;
-        let id = pick_id r si in
-        Desim.Engine.schedule engine
-          ~delay:(r.r_noc_ps + coherence_ps r.r_soc)
-          (fun () ->
-            Axi.read r.r_axi ~id ~addr:seg.Axi.Burst.addr
-              ~beats:seg.Axi.Burst.beats
-              ~on_beat:(fun ~beat:_ -> ())
-              ~on_done:(fun () ->
-                decr in_flight;
-                incr completed;
-                if !completed = n_segs then
-                  Desim.Engine.schedule engine ~delay:r.r_noc_ps (fun () ->
-                      r.r_busy <- false;
-                      on_done ())
-                else try_issue ()));
+        issue_seg si 0;
         try_issue ()
       end
+    and issue_seg si attempt =
+      let seg = segs.(si) in
+      let id = pick_id r si in
+      let site =
+        Printf.sprintf "%s rd-bulk seg@0x%x" r.r_cfg.Config.rc_name
+          seg.Axi.Burst.addr
+      in
+      let finish () =
+        decr in_flight;
+        incr completed;
+        if !completed = n_segs then
+          Desim.Engine.schedule engine ~delay:r.r_noc_ps (fun () ->
+              r.r_busy <- false;
+              on_done ())
+        else try_issue ()
+      in
+      Desim.Engine.schedule engine
+        ~delay:(r.r_noc_ps + coherence_ps r.r_soc)
+        (fun () ->
+          Axi.read r.r_axi ~id ~addr:seg.Axi.Burst.addr
+            ~beats:seg.Axi.Burst.beats
+            ~on_beat:(fun ~beat:_ -> ())
+            ~on_done:(fun resp ->
+              match resp with
+              | Axi.Resp.Okay ->
+                  fault_resolve r.r_soc ~cls:Fault.Class.Axi_read_error
+                    ~n:attempt ~recovered:true ~site;
+                  finish ()
+              | Axi.Resp.Slverr | Axi.Resp.Decerr ->
+                  if attempt < axi_retry_budget r.r_soc then
+                    Desim.Engine.schedule engine
+                      ~delay:(axi_backoff r.r_soc ~attempt)
+                      (fun () -> issue_seg si (attempt + 1))
+                  else begin
+                    fault_resolve r.r_soc ~cls:Fault.Class.Axi_read_error
+                      ~n:(attempt + 1) ~recovered:false ~site;
+                    finish ()
+                  end))
     in
     try_issue ()
 end
@@ -356,27 +439,47 @@ module Writer = struct
         txn.wt_bursts_outstanding <- txn.wt_bursts_outstanding + 1;
         if txn.wt_remaining_bytes = 0 then txn.wt_all_issued <- true;
         let id = pick_id w (addr / max 1 (beats * bb)) in
+        let site = Printf.sprintf "%s wr burst@0x%x" w.w_cfg.Config.wc_name addr in
+        let complete () =
+          txn.wt_in_flight <- txn.wt_in_flight - 1;
+          txn.wt_bursts_outstanding <- txn.wt_bursts_outstanding - 1;
+          (* the B response frees the buffer space this burst held *)
+          txn.wt_buffered <- txn.wt_buffered - burst_items;
+          let rec admit n =
+            if n > 0 then
+              match Queue.take_opt txn.wt_waiting_push with
+              | Some k -> k (); admit (n - 1)
+              | None -> ()
+          in
+          admit burst_items;
+          if txn.wt_all_issued && txn.wt_bursts_outstanding = 0 then begin
+            w.w_busy <- false;
+            w.w_txn <- None;
+            txn.wt_on_done ()
+          end
+          else try_ship w txn
+        in
+        let rec attempt_write attempt =
+          Axi.write w.w_axi ~id ~addr ~beats ~on_done:(fun resp ->
+              match resp with
+              | Axi.Resp.Okay ->
+                  fault_resolve w.w_soc ~cls:Fault.Class.Axi_write_error
+                    ~n:attempt ~recovered:true ~site;
+                  complete ()
+              | Axi.Resp.Slverr | Axi.Resp.Decerr ->
+                  if attempt < axi_retry_budget w.w_soc then
+                    Desim.Engine.schedule w.w_soc.engine
+                      ~delay:(axi_backoff w.w_soc ~attempt)
+                      (fun () -> attempt_write (attempt + 1))
+                  else begin
+                    fault_resolve w.w_soc ~cls:Fault.Class.Axi_write_error
+                      ~n:(attempt + 1) ~recovered:false ~site;
+                    complete ()
+                  end)
+        in
         Desim.Engine.schedule w.w_soc.engine
           ~delay:(w.w_noc_ps + coherence_ps w.w_soc)
-          (fun () ->
-            Axi.write w.w_axi ~id ~addr ~beats ~on_done:(fun () ->
-                txn.wt_in_flight <- txn.wt_in_flight - 1;
-                txn.wt_bursts_outstanding <- txn.wt_bursts_outstanding - 1;
-                (* the B response frees the buffer space this burst held *)
-                txn.wt_buffered <- txn.wt_buffered - burst_items;
-                let rec admit n =
-                  if n > 0 then
-                    match Queue.take_opt txn.wt_waiting_push with
-                    | Some k -> k (); admit (n - 1)
-                    | None -> ()
-                in
-                admit burst_items;
-                if txn.wt_all_issued && txn.wt_bursts_outstanding = 0 then begin
-                  w.w_busy <- false;
-                  w.w_txn <- None;
-                  txn.wt_on_done ()
-                end
-                else try_ship w txn));
+          (fun () -> attempt_write 0);
         try_ship w txn
       end
     end
@@ -460,24 +563,46 @@ module Writer = struct
       then begin
         let si = !next_seg in
         incr next_seg;
-        let seg = segs.(si) in
         incr in_flight;
-        let id = pick_id w si in
-        Desim.Engine.schedule engine
-          ~delay:(w.w_noc_ps + coherence_ps w.w_soc)
-          (fun () ->
-            Axi.write w.w_axi ~id ~addr:seg.Axi.Burst.addr
-              ~beats:seg.Axi.Burst.beats ~on_done:(fun () ->
-                decr in_flight;
-                incr completed;
-                if !completed = n_segs then begin
-                  w.w_busy <- false;
-                  Desim.Engine.schedule engine ~delay:w.w_noc_ps (fun () ->
-                      on_done ())
-                end
-                else try_issue ()));
+        issue_seg si 0;
         try_issue ()
       end
+    and issue_seg si attempt =
+      let seg = segs.(si) in
+      let id = pick_id w si in
+      let site =
+        Printf.sprintf "%s wr-bulk seg@0x%x" w.w_cfg.Config.wc_name
+          seg.Axi.Burst.addr
+      in
+      let finish () =
+        decr in_flight;
+        incr completed;
+        if !completed = n_segs then begin
+          w.w_busy <- false;
+          Desim.Engine.schedule engine ~delay:w.w_noc_ps (fun () -> on_done ())
+        end
+        else try_issue ()
+      in
+      Desim.Engine.schedule engine
+        ~delay:(w.w_noc_ps + coherence_ps w.w_soc)
+        (fun () ->
+          Axi.write w.w_axi ~id ~addr:seg.Axi.Burst.addr
+            ~beats:seg.Axi.Burst.beats ~on_done:(fun resp ->
+              match resp with
+              | Axi.Resp.Okay ->
+                  fault_resolve w.w_soc ~cls:Fault.Class.Axi_write_error
+                    ~n:attempt ~recovered:true ~site;
+                  finish ()
+              | Axi.Resp.Slverr | Axi.Resp.Decerr ->
+                  if attempt < axi_retry_budget w.w_soc then
+                    Desim.Engine.schedule engine
+                      ~delay:(axi_backoff w.w_soc ~attempt)
+                      (fun () -> issue_seg si (attempt + 1))
+                  else begin
+                    fault_resolve w.w_soc ~cls:Fault.Class.Axi_write_error
+                      ~n:(attempt + 1) ~recovered:false ~site;
+                    finish ()
+                  end))
     in
     try_issue ()
 end
@@ -561,8 +686,8 @@ let spad_fill_channel (sp : Config.scratchpad) =
 
 let next_soc_uid = ref 0
 
-let create ?(memory_bytes = 64 * 1024 * 1024) ?trace (design : Elaborate.t)
-    ~behaviors =
+let create ?(memory_bytes = 64 * 1024 * 1024) ?trace ?fault
+    ?(policy = Fault.Policy.default) (design : Elaborate.t) ~behaviors =
   incr next_soc_uid;
   let engine = Desim.Engine.create () in
   let platform = design.Elaborate.platform in
@@ -572,8 +697,9 @@ let create ?(memory_bytes = 64 * 1024 * 1024) ?trace (design : Elaborate.t)
   let n_ports = max 1 platform.Platform.Device.dram.Dram.Config.n_channels in
   let axi_ports =
     Array.init n_ports (fun i ->
-        if i = 0 then Axi.create ?trace engine dram platform.Platform.Device.axi
-        else Axi.create engine dram platform.Platform.Device.axi)
+        if i = 0 then
+          Axi.create ?trace ?fault engine dram platform.Platform.Device.axi
+        else Axi.create ?fault engine dram platform.Platform.Device.axi)
   in
   let axi = axi_ports.(0) in
   let n_cores = Config.total_cores design.Elaborate.config in
@@ -594,8 +720,66 @@ let create ?(memory_bytes = 64 * 1024 * 1024) ?trace (design : Elaborate.t)
       axi_ports;
       cores = [||];
       next_axi_id = 0;
+      fault;
+      policy;
     }
   in
+  (* Wire the ECC/fault tap into the DRAM model: every read burst may
+     corrupt a word (latching its pre-corruption codeword), then the
+     controller scrubs the burst window; writes drop stale codewords. *)
+  (match fault with
+  | None -> ()
+  | Some inj ->
+      let ecc = Fault.Injector.ecc inj in
+      Dram.set_burst_hook dram (fun ~addr ~bytes ~dir ->
+          match dir with
+          | Dram.Write ->
+              if addr < Bytes.length t.memory then
+                Fault.Ecc.note_write ecc ~addr
+                  ~bytes:(min bytes (Bytes.length t.memory - addr))
+          | Dram.Read ->
+              if addr + bytes <= Bytes.length t.memory then begin
+                let now = Desim.Engine.now engine in
+                let flip ~cls ~bits =
+                  let words = max 1 (bytes / 8) in
+                  let word_addr =
+                    addr + (8 * Fault.Injector.draw_int inj ~bound:words)
+                  in
+                  if word_addr + 8 <= Bytes.length t.memory then begin
+                    let b1 = Fault.Injector.draw_int inj ~bound:64 in
+                    Fault.Ecc.inject_flip ecc ~mem:t.memory ~word_addr ~bit:b1;
+                    if bits > 1 then begin
+                      let b2 =
+                        (b1 + 1 + Fault.Injector.draw_int inj ~bound:63) mod 64
+                      in
+                      Fault.Ecc.inject_flip ecc ~mem:t.memory ~word_addr ~bit:b2
+                    end;
+                    Fault.Injector.log inj ~now ~cls ~kind:Fault.Log.Injected
+                      ~site:
+                        (Printf.sprintf "dram word 0x%x, %d bit%s flipped"
+                           word_addr bits (if bits > 1 then "s" else ""))
+                  end
+                in
+                if Fault.Injector.decide inj Fault.Class.Dram_flip then
+                  flip ~cls:Fault.Class.Dram_flip ~bits:1;
+                if Fault.Injector.decide inj Fault.Class.Dram_double_flip then
+                  flip ~cls:Fault.Class.Dram_double_flip ~bits:2;
+                (* the controller checks ECC on every read burst *)
+                let corrected, uncorrectable =
+                  Fault.Ecc.scrub ecc ~mem:t.memory ~addr ~bytes
+                in
+                for _ = 1 to corrected do
+                  Fault.Injector.log inj ~now ~cls:Fault.Class.Dram_flip
+                    ~kind:Fault.Log.Corrected
+                    ~site:(Printf.sprintf "ecc corrected in burst@0x%x" addr)
+                done;
+                for _ = 1 to uncorrectable do
+                  Fault.Injector.log inj ~now ~cls:Fault.Class.Dram_double_flip
+                    ~kind:Fault.Log.Unrecovered
+                    ~site:
+                      (Printf.sprintf "ecc uncorrectable in burst@0x%x" addr)
+                done
+              end));
   let cores = Array.make n_cores None in
   List.iter
     (fun (sys : Config.system) ->
@@ -674,6 +858,8 @@ let create ?(memory_bytes = 64 * 1024 * 1024) ?trace (design : Elaborate.t)
               ci_queue = Queue.create ();
               ci_partial = [];
               ci_busy = false;
+              ci_hung = false;
+              ci_partial_epoch = 0;
             }
       done)
     design.Elaborate.config.Config.systems;
@@ -682,6 +868,8 @@ let create ?(memory_bytes = 64 * 1024 * 1024) ?trace (design : Elaborate.t)
 
 let engine t = t.engine
 let uid t = t.soc_uid
+let fault_injector t = t.fault
+let policy t = t.policy
 let axi_ports t = t.axi_ports
 let design t = t.design
 let platform t = t.platform
@@ -696,11 +884,19 @@ let find_core t ~system ~core =
   let ep = Elaborate.cmd_endpoint t.design ~system ~core in
   t.cores.(ep)
 
+let cmd_key t ~system_id ~core_id =
+  let sys = List.nth t.design.Elaborate.config.Config.systems system_id in
+  Elaborate.cmd_endpoint t.design ~system:sys.Config.sys_name ~core:core_id
+
+let core_hung t ~system_id ~core_id =
+  t.cores.(cmd_key t ~system_id ~core_id).ci_hung
+
 let spec_for (sys : Config.system) funct =
   List.find_opt (fun c -> c.Cmd_spec.cmd_funct = funct) sys.Config.commands
 
 let rec pump_core t (ci : core_inst) =
-  if (not ci.ci_busy) && not (Queue.is_empty ci.ci_queue) then begin
+  if (not ci.ci_busy) && (not ci.ci_hung) && not (Queue.is_empty ci.ci_queue)
+  then begin
     ci.ci_busy <- true;
     let beats, respond = Queue.pop ci.ci_queue in
     ci.ci_behavior ci.ci_ctx beats ~respond:(fun data ->
@@ -708,6 +904,33 @@ let rec pump_core t (ci : core_inst) =
         respond data;
         pump_core t ci)
   end
+
+(* One message over the command NoC with fault decoration: delay
+   injection/recovery is logged, drops are recorded under [key] for the
+   runtime watchdog to resolve. Without a fault injector this is a plain
+   [Noc.send]. *)
+let cmd_noc_send t ~ep_id ~key ~drop_cls ~site k =
+  let cmd_noc = t.design.Elaborate.cmd_noc in
+  match t.fault with
+  | None -> ignore (Noc.send cmd_noc t.engine ~ep_id k)
+  | Some inj -> (
+      let delayed = ref false in
+      let k' () =
+        if !delayed then
+          Fault.Injector.log inj ~now:(Desim.Engine.now t.engine)
+            ~cls:Fault.Class.Noc_delay ~kind:Fault.Log.Recovered ~site;
+        k ()
+      in
+      match Noc.send cmd_noc t.engine ~ep_id ~fault:(inj, drop_cls) k' with
+      | Noc.Delivered -> ()
+      | Noc.Delayed d ->
+          delayed := true;
+          Fault.Injector.log inj ~now:(Desim.Engine.now t.engine)
+            ~cls:Fault.Class.Noc_delay ~kind:Fault.Log.Injected
+            ~site:(Printf.sprintf "%s (+%d ps)" site d)
+      | Noc.Dropped ->
+          Fault.Injector.note_lost inj ~now:(Desim.Engine.now t.engine)
+            ~cls:drop_cls ~key ~site)
 
 let send_command t (cmd : Rocc.t) ~on_response =
   let systems = t.design.Elaborate.config.Config.systems in
@@ -729,8 +952,12 @@ let send_command t (cmd : Rocc.t) ~on_response =
   Log.debug (fun m ->
       m "cmd sys=%d core=%d funct=%d @%dps" cmd.Rocc.system_id
         cmd.Rocc.core_id cmd.Rocc.funct (Desim.Engine.now t.engine));
-  Desim.Engine.schedule t.engine ~delay:(mmio_ps + noc_ps) (fun () ->
+  ignore noc_ps;
+  let deliver () =
+    (* a hung core swallows its traffic; the runtime watchdog notices *)
+    if not ci.ci_hung then begin
       ci.ci_partial <- ci.ci_partial @ [ cmd ];
+      ci.ci_partial_epoch <- ci.ci_partial_epoch + 1;
       let expected =
         match spec_for sys cmd.Rocc.funct with
         | Some spec -> Cmd_spec.rocc_beats spec
@@ -739,20 +966,73 @@ let send_command t (cmd : Rocc.t) ~on_response =
       if List.length ci.ci_partial >= expected then begin
         let beats = ci.ci_partial in
         ci.ci_partial <- [];
-        let respond data =
-          (* response returns over the NoC and is picked up at the MMIO
-             frontend *)
-          Desim.Engine.schedule t.engine ~delay:(noc_ps + mmio_ps) (fun () ->
-              on_response
-                {
-                  Rocc.resp_system_id = cmd.Rocc.system_id;
-                  resp_core_id = cmd.Rocc.core_id;
-                  resp_data = data;
-                })
+        let hang =
+          match t.fault with
+          | Some inj ->
+              Fault.Injector.should_hang inj ~system:cmd.Rocc.system_id
+                ~core:cmd.Rocc.core_id
+          | None -> false
         in
-        Queue.push (beats, respond) ci.ci_queue;
-        pump_core t ci
-      end)
+        if hang then begin
+          let inj = Option.get t.fault in
+          ci.ci_hung <- true;
+          Fault.Injector.note_lost inj
+            ~now:(Desim.Engine.now t.engine)
+            ~cls:Fault.Class.Core_hang ~key:ep
+            ~site:
+              (Printf.sprintf "core sys=%d core=%d hung at dispatch"
+                 cmd.Rocc.system_id cmd.Rocc.core_id)
+        end
+        else begin
+          let respond data =
+            (* response returns over the NoC and is picked up at the MMIO
+               frontend *)
+            cmd_noc_send t ~ep_id:ep ~key:ep
+              ~drop_cls:Fault.Class.Noc_resp_drop
+              ~site:
+                (Printf.sprintf "resp sys=%d core=%d" cmd.Rocc.system_id
+                   cmd.Rocc.core_id)
+              (fun () ->
+                Desim.Engine.schedule t.engine ~delay:mmio_ps (fun () ->
+                    on_response
+                      {
+                        Rocc.resp_system_id = cmd.Rocc.system_id;
+                        resp_core_id = cmd.Rocc.core_id;
+                        resp_data = data;
+                      }))
+          in
+          Queue.push (beats, respond) ci.ci_queue;
+          pump_core t ci
+        end
+      end
+      else begin
+        (* arm the reassembly watchdog: if the rest of a multi-beat
+           command never lands (a dropped beat), the stale partial is
+           torn down so a retry reassembles from a clean slate *)
+        match t.fault with
+        | None -> ()
+        | Some _ ->
+            let epoch = ci.ci_partial_epoch in
+            Desim.Engine.schedule t.engine
+              ~delay:t.policy.Fault.Policy.partial_timeout_ps (fun () ->
+                if ci.ci_partial_epoch = epoch && ci.ci_partial <> [] then begin
+                  ci.ci_partial <- [];
+                  ci.ci_partial_epoch <- ci.ci_partial_epoch + 1;
+                  Log.debug (fun m ->
+                      m "partial command timed out sys=%d core=%d"
+                        cmd.Rocc.system_id cmd.Rocc.core_id)
+                end)
+      end
+    end
+  in
+  (* the write crosses the MMIO frontend, then the command NoC carries
+     the beat to the core *)
+  Desim.Engine.schedule t.engine ~delay:mmio_ps (fun () ->
+      cmd_noc_send t ~ep_id:ep ~key:ep ~drop_cls:Fault.Class.Noc_cmd_drop
+        ~site:
+          (Printf.sprintf "cmd beat sys=%d core=%d funct=%d"
+             cmd.Rocc.system_id cmd.Rocc.core_id cmd.Rocc.funct)
+        deliver)
 
 (* ------------------------------------------------------------------ *)
 (* Behavior-facing accessors                                           *)
@@ -869,6 +1149,13 @@ let stats_report t =
   if t.ace_snoop_ps > 0 then
     pr "  ACE: %d coherent transactions (%d ps snoop each)\n"
       t.coherent_txns t.ace_snoop_ps;
+  (match t.fault with
+  | None -> ()
+  | Some inj ->
+      pr "  faults: %s\n" (Fault.Injector.counters_line inj);
+      let ecc = Fault.Injector.ecc inj in
+      pr "  ECC: %d corrected, %d uncorrectable\n" (Fault.Ecc.corrected ecc)
+        (Fault.Ecc.uncorrectable ecc));
   Buffer.contents buf
 
 let coherent_transactions t = t.coherent_txns

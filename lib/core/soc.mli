@@ -130,16 +130,33 @@ type behavior = ctx -> Rocc.t list -> respond:(int64 -> unit) -> unit
 val create :
   ?memory_bytes:int ->
   ?trace:Axi.Trace.t ->
+  ?fault:Fault.Injector.t ->
+  ?policy:Fault.Policy.t ->
   Elaborate.t ->
   behaviors:(string -> behavior) ->
   t
 (** [behaviors] maps a system name to its core behavior. Default device
-    memory: 64 MB. *)
+    memory: 64 MB. With [fault], the injector is threaded through the
+    whole stack: DRAM read bursts may flip bits (caught by the SECDED
+    scrub-on-read path), AXI bursts may error (retried with exponential
+    backoff up to [policy.axi_max_retries]), command/response beats may be
+    dropped or delayed in the command NoC, and a planned core hang makes
+    its victim swallow traffic until the runtime quarantines it. *)
 
 val engine : t -> Desim.Engine.t
 
 val uid : t -> int
 (** Unique per SoC instance within the process. *)
+
+val fault_injector : t -> Fault.Injector.t option
+val policy : t -> Fault.Policy.t
+
+val cmd_key : t -> system_id:int -> core_id:int -> int
+(** The command-NoC endpoint id of a core — the routing key under which
+    lost-message faults are recorded and resolved. *)
+
+val core_hung : t -> system_id:int -> core_id:int -> bool
+(** True once an injected hang has fired on the core. *)
 
 val design : t -> Elaborate.t
 val platform : t -> Platform.Device.t

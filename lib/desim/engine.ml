@@ -56,7 +56,11 @@ let pop t =
   top
 
 let schedule_at t ~time action =
-  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf
+         "Engine.schedule_at: time %d is in the past (clock is at %d)" time
+         t.clock);
   let ev = { time; seq = t.next_seq; action } in
   t.next_seq <- t.next_seq + 1;
   push t ev
@@ -74,9 +78,34 @@ let step t =
     true
   end
 
-let run ?until t =
+exception Livelock of { fired : int; pending : int; clock : int }
+
+let () =
+  Printexc.register_printer (function
+    | Livelock { fired; pending; clock } ->
+        Some
+          (Printf.sprintf
+             "Desim.Engine.Livelock: fired %d events without draining (%d \
+              still pending at t=%d ps)"
+             fired pending clock)
+    | _ -> None)
+
+let run ?until ?max_events t =
+  let fired = ref 0 in
+  let guard () =
+    match max_events with
+    | Some limit when !fired >= limit ->
+        raise (Livelock { fired = !fired; pending = t.size; clock = t.clock })
+    | _ -> ()
+  in
   match until with
-  | None -> while step t do () done
+  | None ->
+      while
+        guard ();
+        step t
+      do
+        incr fired
+      done
   | Some limit ->
       let continue = ref true in
       while !continue do
@@ -84,5 +113,18 @@ let run ?until t =
           t.clock <- max t.clock limit;
           continue := false
         end
-        else ignore (step t)
+        else begin
+          guard ();
+          ignore (step t);
+          incr fired
+        end
       done
+
+let drain_or_fail ?(max_events = 10_000_000) t =
+  try run ~max_events t
+  with Livelock { fired; pending; clock } ->
+    failwith
+      (Printf.sprintf
+         "Engine.drain_or_fail: still %d pending event(s) after %d fired \
+          (t=%d ps) — likely a deadlocked or livelocked test"
+         pending fired clock)

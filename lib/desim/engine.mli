@@ -15,9 +15,19 @@ val schedule : t -> delay:int -> (unit -> unit) -> unit
 val schedule_at : t -> time:int -> (unit -> unit) -> unit
 (** Schedule at an absolute time [>= now]. *)
 
-val run : ?until:int -> t -> unit
+exception Livelock of { fired : int; pending : int; clock : int }
+(** Raised by {!run} when [max_events] fire without draining the queue. *)
+
+val run : ?until:int -> ?max_events:int -> t -> unit
 (** Drain the event queue. With [until], stop once the next event would fire
-    after [until] (the clock is left at [until]). *)
+    after [until] (the clock is left at [until]). With [max_events], raise
+    {!Livelock} once that many events have fired without the queue draining
+    — the guard that keeps a fault campaign from wedging the simulator. *)
+
+val drain_or_fail : ?max_events:int -> t -> unit
+(** [run] with a default 10M-event budget that converts {!Livelock} into
+    [Failure] carrying the pending-event count — use in tests so a
+    deadlocked simulation reports instead of hanging [dune runtest]. *)
 
 val step : t -> bool
 (** Fire the single next event. Returns [false] when the queue is empty. *)

@@ -69,6 +69,9 @@ type t = {
   mutable row_misses : int;
   mutable first_traffic_at : int option;
   mutable last_traffic_at : int;
+  (* fired at each device burst's data completion time, before the
+     requester's [on_chunk] — the ECC / fault-injection tap point *)
+  mutable burst_hook : (addr:int -> bytes:int -> dir:dir -> unit) option;
 }
 
 let create engine cfg =
@@ -90,9 +93,11 @@ let create engine cfg =
     row_misses = 0;
     first_traffic_at = None;
     last_traffic_at = 0;
+    burst_hook = None;
   }
 
 let config t = t.cfg
+let set_burst_hook t f = t.burst_hook <- Some f
 
 (* Address mapping: burst | channel | bank | row. Interleaving channels and
    banks at burst granularity spreads streams for parallelism, like the
@@ -181,6 +186,9 @@ let submit t ~addr ~bytes ~dir ?on_chunk ~on_complete () =
     let data_end = max (schedule_burst t ~addr:chunk_addr ~dir) !last_end in
     last_end := data_end;
     Desim.Engine.schedule_at t.engine ~time:data_end (fun () ->
+        (match t.burst_hook with
+        | Some f -> f ~addr:chunk_addr ~bytes:chunk_size ~dir
+        | None -> ());
         (match on_chunk with Some f -> f ~chunk | None -> ());
         if chunk = n_chunks - 1 then on_complete ())
   done

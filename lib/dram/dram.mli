@@ -45,6 +45,12 @@ type dir = Read | Write
 val create : Desim.Engine.t -> Config.t -> t
 val config : t -> Config.t
 
+val set_burst_hook : t -> (addr:int -> bytes:int -> dir:dir -> unit) -> unit
+(** Install a callback fired at every device burst's data completion
+    time, before the requester's [on_chunk]. The SoC uses it to model
+    DRAM bit errors and the SECDED scrub-on-read path without coupling
+    the timing model to data contents. *)
+
 val submit :
   t ->
   addr:int ->

@@ -1,0 +1,215 @@
+(** Deterministic, seed-driven fault injection.
+
+    The reliability layer the paper's evaluation assumes away: the
+    platforms Beethoven targets (AWS F1 shells, Alveo boards, ChipKIT
+    ASICs) live with DRAM bit errors, AXI error responses, and hung
+    accelerator cores. This library generates reproducible fault
+    campaigns — every injection decision is drawn from a per-class
+    splitmix64 stream seeded from the campaign seed, so the same seed
+    over the same workload yields bit-identical fault logs and counters
+    — and gives the recovery machinery (ECC scrub, bounded retry,
+    watchdogs, quarantine) a single place to account for what it
+    injected, corrected, recovered, and lost. *)
+
+(** {1 Deterministic PRNG} *)
+
+module Rng : sig
+  type t
+
+  val create : seed:int64 -> t
+  (** A splitmix64 stream. Equal seeds yield equal streams. *)
+
+  val next : t -> int64
+  val float : t -> float  (** Uniform in [0, 1). *)
+
+  val int : t -> bound:int -> int
+  (** Uniform in [0, bound). [bound] must be positive. *)
+end
+
+(** {1 SECDED ECC}
+
+    A real Hamming(72,64) code over 64-bit words: 7 Hamming check bits
+    plus an overall parity bit. Any single-bit error in the 72-bit
+    codeword is corrected; any double-bit error is detected as
+    uncorrectable. The model half ({!Ecc.t}) tracks which device-memory
+    words hold a codeword (established lazily, before the first
+    corruption) so the DRAM read path can scrub on read. *)
+
+module Ecc : sig
+  val encode : int64 -> int
+  (** The 8 check bits protecting a 64-bit data word. *)
+
+  type verdict =
+    | Ok  (** codeword clean *)
+    | Corrected of int64  (** single-bit error; the repaired word *)
+    | Uncorrectable  (** double-bit (or worse) error detected *)
+
+  val decode : data:int64 -> check:int -> verdict
+  (** Syndrome-decode a possibly corrupted codeword. Single-bit flips
+      (in data or check bits) are corrected; double flips detected. *)
+
+  type t
+
+  val create : unit -> t
+
+  val inject_flip : t -> mem:Bytes.t -> word_addr:int -> bit:int -> unit
+  (** Corrupt bit [bit] (0..63) of the aligned 8-byte word at
+      [word_addr] in [mem], first latching the word's check bits if this
+      is the first corruption since the word was last rewritten. *)
+
+  val note_write : t -> addr:int -> bytes:int -> unit
+  (** A write burst landed over [addr, addr+bytes): any latched
+      codewords there are stale (the cells hold fresh data). *)
+
+  val scrub : t -> mem:Bytes.t -> addr:int -> bytes:int -> int * int
+  (** Scrub-on-read over a burst window: decode every latched codeword
+      in range, repairing single-bit errors in place. Returns
+      [(corrected, uncorrectable)] counts for the window. *)
+
+  val corrected : t -> int
+  val uncorrectable : t -> int
+  (** Running totals. *)
+end
+
+(** {1 Fault classes} *)
+
+module Class : sig
+  type t =
+    | Dram_flip  (** single-bit DRAM error in a word about to be read *)
+    | Dram_double_flip  (** double-bit error: detectable, uncorrectable *)
+    | Axi_read_error  (** transient SLVERR/DECERR on a read burst *)
+    | Axi_write_error  (** transient SLVERR/DECERR on a write burst *)
+    | Noc_cmd_drop  (** a command beat lost in the command fabric *)
+    | Noc_resp_drop  (** a response message lost on the way back *)
+    | Noc_delay  (** a message delayed (ordering preserved per route) *)
+    | Core_hang  (** a core stops responding permanently *)
+    | Dma_fail  (** transient host<->device DMA failure *)
+
+  val all : t list
+  val name : t -> string
+  val of_name : string -> t option
+end
+
+(** {1 Campaign plans} *)
+
+module Plan : sig
+  type hang = {
+    hang_system : int;  (** system index *)
+    hang_core : int;
+    hang_after : int;  (** hang on the Nth command dispatched to it (1-based) *)
+  }
+
+  type t = {
+    seed : int;
+    rates : (Class.t * float) list;
+    (** Injection probability per opportunity (burst, transaction,
+        message, copy). Classes absent from the list never fire. *)
+    max_delay_ps : int;  (** upper bound for [Noc_delay] injections *)
+    hang : hang option;
+  }
+
+  val none : t
+  (** No faults (all rates zero) — an injector that only counts. *)
+
+  val default_recoverable : ?seed:int -> unit -> t
+  (** The default campaign mix: single-bit DRAM flips, transient AXI
+      errors, dropped/delayed NoC messages, dropped responses, transient
+      DMA failures — every class the stack recovers without data loss.
+      No double-bit flips, no hung cores. *)
+
+  val with_hang : ?after:int -> system:int -> core:int -> t -> t
+  val scale : float -> t -> t
+  (** Multiply every rate (clamped to 1.0) — the degradation-curve knob. *)
+end
+
+(** {1 Recovery policy} *)
+
+module Policy : sig
+  type t = {
+    axi_max_retries : int;  (** bounded retry per AXI burst *)
+    axi_backoff_ps : int;  (** base backoff; attempt k waits base*2^k *)
+    cmd_timeout_ps : int;  (** per-command response deadline *)
+    cmd_max_retries : int;  (** watchdog retries before quarantine *)
+    partial_timeout_ps : int;
+        (** command-reassembly watchdog: clear a stale partial
+            multi-beat command after this long *)
+    dma_max_retries : int;
+    dma_backoff_ps : int;
+  }
+
+  val default : t
+end
+
+(** {1 The fault log} *)
+
+module Log : sig
+  type kind =
+    | Injected
+    | Corrected  (** repaired in place (ECC scrub) *)
+    | Recovered  (** recovered by retry / watchdog / rerouting *)
+    | Unrecovered  (** gave up; data loss or failed command *)
+    | Quarantined  (** a core was marked failed and taken out of rotation *)
+
+  type entry = { time : int; cls : Class.t; kind : kind; site : string }
+
+  val kind_name : kind -> string
+  val render_entry : entry -> string
+  val render : entry list -> string
+end
+
+(** {1 The injector} *)
+
+module Injector : sig
+  type t
+
+  val create : Plan.t -> t
+  val plan : t -> Plan.t
+  val ecc : t -> Ecc.t
+
+  val decide : t -> Class.t -> bool
+  (** Draw from the class's stream against its rate. Deterministic in
+      the sequence of calls per class. *)
+
+  val draw_delay_ps : t -> int
+  (** Extra latency for a [Noc_delay] injection, in
+      [1, plan.max_delay_ps]. *)
+
+  val draw_int : t -> bound:int -> int
+  (** Auxiliary deterministic draw (victim bit/word selection). *)
+
+  val should_hang : t -> system:int -> core:int -> bool
+  (** True exactly once: when the plan's hang spec matches this core and
+      its dispatch count reaches [hang_after]. *)
+
+  (** {2 Accounting} *)
+
+  val log : t -> now:int -> cls:Class.t -> kind:Log.kind -> site:string -> unit
+  val note_lost : t -> now:int -> cls:Class.t -> key:int -> site:string -> unit
+  (** Record an injected lost-message fault (dropped command/response,
+      hung core) pending against routing key [key] — resolved when the
+      runtime's watchdog recovers or abandons commands on that route. *)
+
+  val resolve_lost : t -> now:int -> key:int -> recovered:bool -> unit
+  (** Mark every pending lost-message fault on [key] recovered (the
+      retry/reroute produced a response) or unrecovered. *)
+
+  val injected : t -> Class.t -> int
+  val recovered : t -> Class.t -> int
+  (** [recovered] includes ECC-corrected faults. *)
+
+  val unrecovered : t -> Class.t -> int
+  val total_injected : t -> int
+  val total_recovered : t -> int
+  val total_unrecovered : t -> int
+  val pending_lost : t -> int
+  (** Lost-message faults not yet resolved either way. *)
+
+  val quarantines : t -> int
+  val entries : t -> Log.entry list  (** chronological *)
+
+  val report : t -> string
+  (** Per-class injected/recovered/unrecovered table plus the log. *)
+
+  val counters_line : t -> string
+  (** One-line machine-comparable digest (for determinism tests). *)
+end

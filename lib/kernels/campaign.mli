@@ -1,0 +1,74 @@
+(** Seeded fault campaigns over the memcpy microbenchmark.
+
+    Replays the §III-A memcpy kernel through the full host path (malloc,
+    DMA up, command, await, DMA down, byte-for-byte verification) with a
+    {!Fault.Injector} threaded through the whole stack, and reports what
+    was injected, what the recovery machinery (ECC scrub, AXI retry,
+    watchdog resend, quarantine + rerouting) absorbed, and what it cost
+    in throughput. Same plan (same seed) — bit-identical campaign. *)
+
+val config : n_cores:int -> Beethoven.Config.t
+(** The memcpy system used by campaigns, with a configurable core count
+    (>= 2 cores gives the watchdog somewhere to reroute after a
+    quarantine). *)
+
+type result = {
+  seed : int;
+  iters : int;
+  bytes : int;
+  injected : int;
+  recovered : int;
+  unrecovered : int;
+  pending : int;  (** lost-message faults never resolved either way *)
+  quarantines : int;
+  ecc_corrected : int;
+  ecc_uncorrectable : int;
+  command_timeouts : int;
+  command_retries : int;
+  failed_commands : int;  (** awaits that raised (recovery exhausted) *)
+  corrupt_iters : int;  (** iterations whose round-tripped data mismatched *)
+  wall_ps : int;
+  bandwidth_gbs : float;  (** end-to-end: payload bytes / total sim time *)
+  data_ok : bool;
+  counters : string;  (** [Fault.Injector.counters_line] digest *)
+  log : Fault.Log.entry list;
+}
+
+val run :
+  ?bytes:int ->
+  ?iters:int ->
+  ?n_cores:int ->
+  ?policy:Fault.Policy.t ->
+  plan:Fault.Plan.t ->
+  platform:Platform.Device.t ->
+  unit ->
+  result
+(** Run [iters] (default 4) round-trips of [bytes] (default 64 KB) under
+    [plan]. Never hangs: the driver runs under a hard event budget and
+    the queue is drained (with {!Desim.Engine.drain_or_fail}) before the
+    result is assembled. *)
+
+val clean : result -> bool
+(** No unrecovered faults, nothing pending, data verified — what the
+    default recoverable-only mix must achieve. *)
+
+val render : result -> string
+
+type curve_point = {
+  cp_scale : float;
+  cp_result : result;
+  cp_relative : float;  (** throughput relative to the fault-free run *)
+}
+
+val degradation :
+  ?seed:int ->
+  ?bytes:int ->
+  ?iters:int ->
+  ?scales:float list ->
+  platform:Platform.Device.t ->
+  unit ->
+  curve_point list
+(** Throughput-degradation curve: the default recoverable mix scaled by
+    each factor in [scales] (0.0 = fault-free baseline). *)
+
+val render_curve : curve_point list -> string

@@ -26,6 +26,11 @@ type t = {
   n_buffers : int;
   n_crossings : int;
   mutable messages : int;
+  mutable drops : int;
+  mutable delays : int;
+  (* per-endpoint earliest-next-arrival clamp: the tree preserves ordering
+     along a route, so a delayed message holds back the ones behind it *)
+  arrival_floor : (int, int) Hashtbl.t;
 }
 
 (* Depth of a balanced tree with the given fanout over [n] leaves, and the
@@ -80,6 +85,9 @@ let build prm ~root_slr ~endpoints =
     n_buffers = !n_buffers;
     n_crossings = !n_crossings;
     messages = 0;
+    drops = 0;
+    delays = 0;
+    arrival_floor = Hashtbl.create 16;
   }
 
 let n_endpoints t = List.length t.endpoints
@@ -122,10 +130,46 @@ let describe t =
        (n_endpoints t) t.n_buffers t.n_crossings
     :: slr_lines)
 
-let send t engine ~ep_id ?(payload_beats = 1) k =
+type delivery = Delivered | Dropped | Delayed of int
+
+let send t engine ~ep_id ?(payload_beats = 1) ?fault k =
   if payload_beats < 1 then invalid_arg "Noc.send: payload_beats";
   t.messages <- t.messages + 1;
   let cycles = latency_cycles t ~ep_id + (payload_beats - 1) in
-  Desim.Engine.schedule engine ~delay:(cycles * t.prm.Params.clock_ps) k
+  let base = cycles * t.prm.Params.clock_ps in
+  match fault with
+  | None ->
+      Desim.Engine.schedule engine ~delay:base k;
+      Delivered
+  | Some (inj, drop_cls) ->
+      if Fault.Injector.decide inj drop_cls then begin
+        (* the message vanishes in the fabric: the callback never fires *)
+        t.drops <- t.drops + 1;
+        Dropped
+      end
+      else begin
+        let extra =
+          if Fault.Injector.decide inj Fault.Class.Noc_delay then
+            Fault.Injector.draw_delay_ps inj
+          else 0
+        in
+        let now = Desim.Engine.now engine in
+        let arrival = now + base + extra in
+        let floor =
+          Option.value ~default:0 (Hashtbl.find_opt t.arrival_floor ep_id)
+        in
+        (* never reorder behind an earlier (possibly delayed) message on
+           the same route *)
+        let arrival = max arrival floor in
+        Hashtbl.replace t.arrival_floor ep_id arrival;
+        Desim.Engine.schedule_at engine ~time:arrival k;
+        if extra > 0 then begin
+          t.delays <- t.delays + 1;
+          Delayed extra
+        end
+        else Delivered
+      end
 
 let messages_sent t = t.messages
+let messages_dropped t = t.drops
+let messages_delayed t = t.delays

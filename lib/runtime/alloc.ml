@@ -1,8 +1,25 @@
+type free_error = Double_free | Never_allocated
+
+exception Invalid_free of { addr : int; reason : free_error }
+
+let () =
+  Printexc.register_printer (function
+    | Invalid_free { addr; reason } ->
+        Some
+          (Printf.sprintf "Alloc.Invalid_free: 0x%x %s" addr
+             (match reason with
+             | Double_free -> "was already freed"
+             | Never_allocated -> "was never allocated"))
+    | _ -> None)
+
 type t = {
   size : int;
   alignment : int;
   (* live allocations: base -> length (aligned) *)
   live : (int, int) Hashtbl.t;
+  (* bases freed and not reallocated since — distinguishes a double-free
+     from freeing garbage *)
+  freed : (int, unit) Hashtbl.t;
   (* free list: sorted (base, length) *)
   mutable free_list : (int * int) list;
 }
@@ -11,7 +28,13 @@ let create ~size ?(alignment = 4096) () =
   if size <= 0 then invalid_arg "Alloc.create: size";
   if alignment <= 0 || alignment land (alignment - 1) <> 0 then
     invalid_arg "Alloc.create: alignment must be a power of two";
-  { size; alignment; live = Hashtbl.create 64; free_list = [ (0, size) ] }
+  {
+    size;
+    alignment;
+    live = Hashtbl.create 64;
+    freed = Hashtbl.create 64;
+    free_list = [ (0, size) ];
+  }
 
 let round_up t n = (n + t.alignment - 1) / t.alignment * t.alignment
 
@@ -27,6 +50,7 @@ let alloc t n =
           in
           t.free_list <- List.rev_append acc remaining;
           Hashtbl.add t.live base n;
+          Hashtbl.remove t.freed base;
           Some base
         end
         else go ((base, len) :: acc) rest
@@ -35,9 +59,14 @@ let alloc t n =
 
 let free t base =
   match Hashtbl.find_opt t.live base with
-  | None -> invalid_arg "Alloc.free: not an allocated base"
+  | None ->
+      let reason =
+        if Hashtbl.mem t.freed base then Double_free else Never_allocated
+      in
+      raise (Invalid_free { addr = base; reason })
   | Some len ->
       Hashtbl.remove t.live base;
+      Hashtbl.replace t.freed base ();
       (* insert sorted and coalesce *)
       let rec insert = function
         | [] -> [ (base, len) ]

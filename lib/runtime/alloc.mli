@@ -8,6 +8,13 @@
 
 type t
 
+type free_error =
+  | Double_free  (** the base was allocated once, and freed already *)
+  | Never_allocated  (** the base was never returned by {!alloc} *)
+
+exception Invalid_free of { addr : int; reason : free_error }
+(** Raised by {!free} with the offending base address. *)
+
 val create : size:int -> ?alignment:int -> unit -> t
 (** Default alignment 4096 (one hugepage-ish granule / AXI burst window). *)
 
@@ -16,8 +23,9 @@ val alloc : t -> int -> int option
     are aligned and non-overlapping. *)
 
 val free : t -> int -> unit
-(** Free by base address; coalesces neighbours. Raises [Invalid_argument]
-    on a pointer that is not currently allocated. *)
+(** Free by base address; coalesces neighbours. Raises {!Invalid_free} on
+    a base that is not currently allocated, distinguishing a double-free
+    from a pointer that never came out of {!alloc}. *)
 
 val allocated_bytes : t -> int
 val free_bytes : t -> int

@@ -6,10 +6,24 @@ let log_src = Logs.Src.create "beethoven.runtime" ~doc:"Host runtime events"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-type remote_ptr = { rp_addr : int; rp_bytes : int }
+type remote_ptr = { rp_addr : int; rp_bytes : int; rp_gen : int }
+
+exception Stale_pointer of { addr : int; bytes : int }
+
+let () =
+  Printexc.register_printer (function
+    | Stale_pointer { addr; bytes } ->
+        Some
+          (Printf.sprintf
+             "Handle.Stale_pointer: remote_ptr 0x%x (%d B) no longer backs \
+              a live allocation"
+             addr bytes)
+    | _ -> None)
 
 type response_handle = {
   mutable result : int64 option;
+  mutable failed : string option;
+      (* set instead of [result] when recovery is exhausted *)
   mutable waiters : (int64 -> unit) list;
 }
 
@@ -21,13 +35,22 @@ type t = {
   huge_mappings : (int, Pagemap.mapping) Hashtbl.t; (* phys base -> mapping *)
   host_buffers : (int, Bytes.t) Hashtbl.t; (* device addr -> host staging *)
   server_op_ps : int;
+  poison_freed : bool;
+  (* device base -> generation of the live allocation there; a remote_ptr
+     whose generation does not match is stale *)
+  gens : (int, int) Hashtbl.t;
+  mutable next_gen : int;
+  (* (system_id, core_id) the watchdog has written off *)
+  quarantined : (int * int, unit) Hashtbl.t;
   mutable server_free_at : int;
   mutable server_busy_ps : int;
   mutable commands_sent : int;
   mutable responses_received : int;
+  mutable command_timeouts : int;
+  mutable command_retries : int;
 }
 
-let create ?(server_op_ps = 1_500_000) soc =
+let create ?(server_op_ps = 1_500_000) ?(poison_freed = false) soc =
   let shared =
     (Soc.platform soc).Platform.Device.host.Platform.Device
     .shared_address_space
@@ -43,10 +66,16 @@ let create ?(server_op_ps = 1_500_000) soc =
     huge_mappings = Hashtbl.create 16;
     host_buffers = Hashtbl.create 16;
     server_op_ps;
+    poison_freed;
+    gens = Hashtbl.create 16;
+    next_gen = 0;
+    quarantined = Hashtbl.create 4;
     server_free_at = 0;
     server_busy_ps = 0;
     commands_sent = 0;
     responses_received = 0;
+    command_timeouts = 0;
+    command_retries = 0;
   }
 
 let soc t = t.soc
@@ -75,26 +104,49 @@ let malloc t n =
             m.Pagemap.vaddr);
       Hashtbl.replace t.huge_mappings addr m;
       Hashtbl.replace t.host_buffers addr (Bytes.make n '\000');
-      { rp_addr = addr; rp_bytes = n }
+      t.next_gen <- t.next_gen + 1;
+      Hashtbl.replace t.gens addr t.next_gen;
+      { rp_addr = addr; rp_bytes = n; rp_gen = t.next_gen }
   | None -> (
       match Alloc.alloc t.alloc n with
       | None -> failwith "fpga_handle: device memory exhausted"
       | Some addr ->
           Hashtbl.replace t.host_buffers addr (Bytes.make n '\000');
-          { rp_addr = addr; rp_bytes = n })
+          t.next_gen <- t.next_gen + 1;
+          Hashtbl.replace t.gens addr t.next_gen;
+          { rp_addr = addr; rp_bytes = n; rp_gen = t.next_gen })
+
+let check_live t ptr =
+  match Hashtbl.find_opt t.gens ptr.rp_addr with
+  | Some g when g = ptr.rp_gen -> ()
+  | _ -> raise (Stale_pointer { addr = ptr.rp_addr; bytes = ptr.rp_bytes })
 
 let mfree t ptr =
+  (* a pointer into a base that was reallocated since is stale, not a
+     double-free — distinguish before the allocator sees it *)
+  (match Hashtbl.find_opt t.gens ptr.rp_addr with
+  | Some g when g <> ptr.rp_gen ->
+      raise (Stale_pointer { addr = ptr.rp_addr; bytes = ptr.rp_bytes })
+  | _ -> ());
   (match (t.pagemap, Hashtbl.find_opt t.huge_mappings ptr.rp_addr) with
   | Some pm, Some m ->
       Pagemap.munmap pm m;
       Hashtbl.remove t.huge_mappings ptr.rp_addr
-  | _ -> Alloc.free t.alloc ptr.rp_addr);
+  | Some _, None ->
+      raise (Alloc.Invalid_free { addr = ptr.rp_addr; reason = Alloc.Double_free })
+  | None, _ -> Alloc.free t.alloc ptr.rp_addr);
+  Hashtbl.remove t.gens ptr.rp_addr;
+  (if t.poison_freed then
+     match Hashtbl.find_opt t.host_buffers ptr.rp_addr with
+     | Some b -> Bytes.fill b 0 (Bytes.length b) '\xde'
+     | None -> ());
   Hashtbl.remove t.host_buffers ptr.rp_addr
 
 let host_bytes t ptr =
+  check_live t ptr;
   match Hashtbl.find_opt t.host_buffers ptr.rp_addr with
   | Some b -> b
-  | None -> invalid_arg "fpga_handle: stale remote_ptr"
+  | None -> raise (Stale_pointer { addr = ptr.rp_addr; bytes = ptr.rp_bytes })
 
 let platform t = Soc.platform t.soc
 
@@ -109,25 +161,81 @@ let dma_ps t bytes =
     + int_of_float
         (float_of_int bytes /. host.Platform.Device.dma_bandwidth_gbs *. 1000.)
 
+(* One DMA transfer, with transient-failure injection and bounded
+   retry/backoff. Each injected failure is resolved exactly once:
+   [Recovered] when a later attempt completes, [Unrecovered] when the
+   budget runs out (the transfer is then abandoned — the campaign's
+   verification pass surfaces the resulting corruption). *)
+let dma_op t ~bytes ~site ~work ~on_done =
+  let inj = Soc.fault_injector t.soc in
+  let policy = Soc.policy t.soc in
+  let rec go attempt =
+    Desim.Engine.schedule t.engine ~delay:(dma_ps t bytes) (fun () ->
+        let now = Desim.Engine.now t.engine in
+        let failed =
+          match inj with
+          | Some i when Fault.Injector.decide i Fault.Class.Dma_fail ->
+              Fault.Injector.log i ~now ~cls:Fault.Class.Dma_fail
+                ~kind:Fault.Log.Injected ~site;
+              true
+          | _ -> false
+        in
+        if not failed then begin
+          (match inj with
+          | Some i when attempt > 0 ->
+              for _ = 1 to attempt do
+                Fault.Injector.log i ~now ~cls:Fault.Class.Dma_fail
+                  ~kind:Fault.Log.Recovered ~site
+              done
+          | _ -> ());
+          work ();
+          on_done ()
+        end
+        else if attempt < policy.Fault.Policy.dma_max_retries then
+          Desim.Engine.schedule t.engine
+            ~delay:(policy.Fault.Policy.dma_backoff_ps * (1 lsl attempt))
+            (fun () -> go (attempt + 1))
+        else begin
+          (match inj with
+          | Some i ->
+              for _ = 1 to attempt + 1 do
+                Fault.Injector.log i ~now ~cls:Fault.Class.Dma_fail
+                  ~kind:Fault.Log.Unrecovered ~site
+              done
+          | None -> ());
+          on_done ()
+        end)
+  in
+  go 0
+
 let copy_to_fpga t ptr ~on_done =
   let src = host_bytes t ptr in
-  Desim.Engine.schedule t.engine ~delay:(dma_ps t ptr.rp_bytes) (fun () ->
-      Soc.blit_in t.soc ~src ~dst_addr:ptr.rp_addr;
-      on_done ())
+  dma_op t ~bytes:ptr.rp_bytes
+    ~site:(Printf.sprintf "dma to fpga @0x%x (%d B)" ptr.rp_addr ptr.rp_bytes)
+    ~work:(fun () -> Soc.blit_in t.soc ~src ~dst_addr:ptr.rp_addr)
+    ~on_done
 
 let copy_from_fpga t ptr ~on_done =
-  Desim.Engine.schedule t.engine ~delay:(dma_ps t ptr.rp_bytes) (fun () ->
-      Soc.blit_out t.soc ~src_addr:ptr.rp_addr ~dst:(host_bytes t ptr);
-      on_done ())
+  check_live t ptr;
+  dma_op t ~bytes:ptr.rp_bytes
+    ~site:
+      (Printf.sprintf "dma from fpga @0x%x (%d B)" ptr.rp_addr ptr.rp_bytes)
+    ~work:(fun () ->
+      Soc.blit_out t.soc ~src_addr:ptr.rp_addr ~dst:(host_bytes t ptr))
+    ~on_done
 
+(* Idempotent: a command retried by the watchdog can respond more than
+   once (at-least-once delivery); only the first response resolves. *)
 let resolve handle v =
-  handle.result <- Some v;
-  let ws = handle.waiters in
-  handle.waiters <- [];
-  List.iter (fun w -> w v) ws
+  if handle.result = None then begin
+    handle.result <- Some v;
+    let ws = handle.waiters in
+    handle.waiters <- [];
+    List.iter (fun w -> w v) ws
+  end
 
 let send_raw t cmd =
-  let handle = { result = None; waiters = [] } in
+  let handle = { result = None; failed = None; waiters = [] } in
   t.commands_sent <- t.commands_sent + 1;
   Log.debug (fun f ->
       f "send sys=%d core=%d funct=%d" cmd.Rocc.system_id cmd.Rocc.core_id
@@ -152,26 +260,132 @@ let system_index t name =
   in
   go 0 systems
 
+let is_quarantined t ~system_id ~core_id =
+  Hashtbl.mem t.quarantined (system_id, core_id)
+
 let send t ~system ~core ~cmd ~args =
   let pairs = Cmd_spec.pack cmd args in
   let n = List.length pairs in
   let sys_id = system_index t system in
-  let handles =
-    List.mapi
-      (fun i (p1, p2) ->
-        send_raw t
-          {
-            Rocc.system_id = sys_id;
-            core_id = core;
-            funct = cmd.Cmd_spec.cmd_funct;
-            expects_response = i = n - 1 && cmd.Cmd_spec.has_response;
-            payload1 = p1;
-            payload2 = p2;
-          })
-      pairs
+  let submit target_core =
+    let handles =
+      List.mapi
+        (fun i (p1, p2) ->
+          send_raw t
+            {
+              Rocc.system_id = sys_id;
+              core_id = target_core;
+              funct = cmd.Cmd_spec.cmd_funct;
+              expects_response = i = n - 1 && cmd.Cmd_spec.has_response;
+              payload1 = p1;
+              payload2 = p2;
+            })
+        pairs
+    in
+    (* the logical response is the last beat's *)
+    List.nth handles (n - 1)
   in
-  (* the logical response is the last beat's *)
-  List.nth handles (n - 1)
+  match Soc.fault_injector t.soc with
+  | None -> submit core
+  | Some _ when not cmd.Cmd_spec.has_response ->
+      (* nothing to watch: a response-less command cannot be timed out *)
+      submit core
+  | Some inj ->
+      (* Watchdog: if the response misses its deadline, resend (doubling
+         the deadline); after [cmd_max_retries] resends quarantine the
+         core and reroute to the next healthy one. Commands are therefore
+         delivered at-least-once — kernels are assumed idempotent. *)
+      let policy = Soc.policy t.soc in
+      let sys =
+        List.nth
+          (Soc.design t.soc).Beethoven.Elaborate.config.Beethoven.Config
+            .systems sys_id
+      in
+      let n_cores = sys.Beethoven.Config.n_cores in
+      let outer = { result = None; failed = None; waiters = [] } in
+      let touched = ref [] in
+      let next_core after =
+        let rec go k =
+          if k >= n_cores then None
+          else
+            let c = (after + k) mod n_cores in
+            if Hashtbl.mem t.quarantined (sys_id, c) then go (k + 1)
+            else Some c
+        in
+        go 1
+      in
+      let succeed v =
+        if outer.result = None then begin
+          let now = Desim.Engine.now t.engine in
+          List.iter
+            (fun key ->
+              Fault.Injector.resolve_lost inj ~now ~key ~recovered:true)
+            !touched;
+          resolve outer v
+        end
+      in
+      let rec attempt ~target_core ~tries ~timeout_ps =
+        let key = Soc.cmd_key t.soc ~system_id:sys_id ~core_id:target_core in
+        if not (List.mem key !touched) then touched := key :: !touched;
+        let h = submit target_core in
+        (match h.result with
+        | Some v -> succeed v
+        | None -> h.waiters <- succeed :: h.waiters);
+        Desim.Engine.schedule t.engine ~delay:timeout_ps (fun () ->
+            if outer.result = None && h.result = None then begin
+              t.command_timeouts <- t.command_timeouts + 1;
+              if tries < policy.Fault.Policy.cmd_max_retries then begin
+                t.command_retries <- t.command_retries + 1;
+                Log.debug (fun f ->
+                    f "command timed out; retry %d on sys=%d core=%d"
+                      (tries + 1) sys_id target_core);
+                attempt ~target_core ~tries:(tries + 1)
+                  ~timeout_ps:(2 * timeout_ps)
+              end
+              else begin
+                Hashtbl.replace t.quarantined (sys_id, target_core) ();
+                let now = Desim.Engine.now t.engine in
+                Fault.Injector.log inj ~now ~cls:Fault.Class.Core_hang
+                  ~kind:Fault.Log.Quarantined
+                  ~site:
+                    (Printf.sprintf
+                       "sys=%d core=%d after %d timed-out attempt(s)%s"
+                       sys_id target_core (tries + 1)
+                       (if
+                          Soc.core_hung t.soc ~system_id:sys_id
+                            ~core_id:target_core
+                        then " (injected hang)"
+                        else ""));
+                match next_core target_core with
+                | Some c ->
+                    t.command_retries <- t.command_retries + 1;
+                    attempt ~target_core:c ~tries:0
+                      ~timeout_ps:policy.Fault.Policy.cmd_timeout_ps
+                | None ->
+                    List.iter
+                      (fun key ->
+                        Fault.Injector.resolve_lost inj ~now ~key
+                          ~recovered:false)
+                      !touched;
+                    outer.failed <-
+                      Some
+                        (Printf.sprintf "system %s: all cores quarantined"
+                           system)
+              end
+            end)
+      in
+      let core0 =
+        if Hashtbl.mem t.quarantined (sys_id, core) then next_core core
+        else Some core
+      in
+      (match core0 with
+      | Some c ->
+          attempt ~target_core:c ~tries:0
+            ~timeout_ps:policy.Fault.Policy.cmd_timeout_ps
+      | None ->
+          outer.failed <-
+            Some (Printf.sprintf "system %s: all cores quarantined" system));
+      outer
 
 let try_get h = h.result
 
@@ -183,15 +397,18 @@ let on_ready h k =
 let await t h =
   let module E = Desim.Engine in
   let rec spin () =
-    match h.result with
-    | Some v -> v
-    | None ->
+    match (h.result, h.failed) with
+    | Some v, _ -> v
+    | None, Some msg -> failwith ("fpga_handle.await: " ^ msg)
+    | None, None ->
         if E.step t.engine then spin ()
         else failwith "fpga_handle.await: simulation drained with no response"
   in
   spin ()
 
 let await_all t hs = List.map (await t) hs
+let command_timeouts t = t.command_timeouts
+let command_retries t = t.command_retries
 let commands_sent t = t.commands_sent
 let responses_received t = t.responses_received
 let server_busy_ps t = t.server_busy_ps

@@ -11,11 +11,20 @@
 
 type t
 
-type remote_ptr = { rp_addr : int; rp_bytes : int }
+type remote_ptr = { rp_addr : int; rp_bytes : int; rp_gen : int }
+(** [rp_gen] is the allocation generation of the base address; a pointer
+    kept across [mfree]/[malloc] of the same base is detected as stale. *)
 
-val create : ?server_op_ps:int -> Beethoven.Soc.t -> t
+exception Stale_pointer of { addr : int; bytes : int }
+(** Raised when a [remote_ptr] no longer (or not yet again) backs a live
+    allocation — freed, or its base reallocated since. *)
+
+val create : ?server_op_ps:int -> ?poison_freed:bool -> Beethoven.Soc.t -> t
 (** [server_op_ps] — runtime-server service time per MMIO operation
-    (default 1.5 µs, a syscall + a handful of MMIO accesses). *)
+    (default 1.5 µs, a syscall + a handful of MMIO accesses).
+    [poison_freed] — debug aid: on [mfree], fill the freed host staging
+    buffer with [0xDE] so use-after-free through a stale [Bytes.t] shows
+    up as poisoned data instead of silently aliasing. *)
 
 val soc : t -> Beethoven.Soc.t
 val engine : t -> Desim.Engine.t
@@ -26,10 +35,16 @@ val malloc : t -> int -> remote_ptr
 (** Raises [Failure] when device memory is exhausted. *)
 
 val mfree : t -> remote_ptr -> unit
+(** Release an allocation. Raises {!Stale_pointer} if the base was
+    reallocated since this pointer was minted, {!Alloc.Invalid_free}
+    (carrying the base address) on a double-free or a pointer that never
+    came from {!malloc}. *)
+
 val host_bytes : t -> remote_ptr -> Bytes.t
 (** The host-side staging buffer backing this allocation ([getHostAddr]).
     On embedded platforms this aliases device memory semantics: copies
-    are free but still explicit in the API. *)
+    are free but still explicit in the API. Raises {!Stale_pointer} on a
+    freed or reallocated pointer. *)
 
 val copy_to_fpga : t -> remote_ptr -> on_done:(unit -> unit) -> unit
 (** DMA host → device. Timing: setup + bytes / link bandwidth on discrete
@@ -49,7 +64,14 @@ val send :
   args:(string * int64) list ->
   response_handle
 (** Pack the arguments per the command spec and submit all RoCC beats
-    through the runtime server. *)
+    through the runtime server. When the SoC carries a fault injector and
+    the command expects a response, a watchdog guards the response
+    deadline ([policy.cmd_timeout_ps]): on timeout the command is resent
+    with a doubled deadline, and after [policy.cmd_max_retries] resends
+    the core is quarantined and the command rerouted to the next healthy
+    core of the system — at-least-once delivery, so kernels are assumed
+    idempotent. With every core of the system quarantined the handle
+    fails and {!await} raises. *)
 
 val send_raw : t -> Beethoven.Rocc.t -> response_handle
 
@@ -58,7 +80,8 @@ val on_ready : response_handle -> (int64 -> unit) -> unit
 
 val await : t -> response_handle -> int64
 (** Run the simulation until the response arrives ([response_handle::get]).
-    Raises [Failure] if the simulation drains without a response. *)
+    Raises [Failure] if the simulation drains without a response, or if
+    recovery was exhausted (every core of the system quarantined). *)
 
 val await_all : t -> response_handle list -> int64 list
 
@@ -66,6 +89,14 @@ val await_all : t -> response_handle list -> int64 list
 
 val commands_sent : t -> int
 val responses_received : t -> int
+
+val command_timeouts : t -> int
+(** Response deadlines missed by the watchdog. *)
+
+val command_retries : t -> int
+(** Commands resent after a timeout (including reroutes). *)
+
+val is_quarantined : t -> system_id:int -> core_id:int -> bool
 val server_busy_ps : t -> int
 (** Total time the runtime server spent servicing operations — the
     contention metric. *)

@@ -141,8 +141,8 @@ module To_axi = struct
     | Get _ ->
         Axi.read t.axi ~id ~addr ~beats
           ~on_beat:(fun ~beat:_ -> ())
-          ~on_done:(fun () -> finish (Access_ack_data { source; size }))
+          ~on_done:(fun _resp -> finish (Access_ack_data { source; size }))
     | Put_full _ ->
-        Axi.write t.axi ~id ~addr ~beats ~on_done:(fun () ->
+        Axi.write t.axi ~id ~addr ~beats ~on_done:(fun _resp ->
             finish (Access_ack { source; size }))
 end

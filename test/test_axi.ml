@@ -85,10 +85,10 @@ let test_distinct_ids_overlap () =
     let t1 = ref 0 and t2 = ref 0 in
     Axi.read port ~id:0 ~addr:0 ~beats:16
       ~on_beat:(fun ~beat:_ -> ())
-      ~on_done:(fun () -> t1 := E.now e);
+      ~on_done:(fun _resp -> t1 := E.now e);
     Axi.read port ~id:id2 ~addr:8192 ~beats:16
       ~on_beat:(fun ~beat:_ -> ())
-      ~on_done:(fun () -> t2 := E.now e);
+      ~on_done:(fun _resp -> t2 := E.now e);
     E.run e;
     !t2 - !t1
   in
@@ -103,7 +103,7 @@ let test_multi_id_is_faster () =
     for i = 0 to 15 do
       Axi.read port ~id:(i mod n_ids) ~addr:(i * 1024) ~beats:16
         ~on_beat:(fun ~beat:_ -> ())
-        ~on_done:(fun () ->
+        ~on_done:(fun _resp ->
           decr remaining;
           if !remaining = 0 then finish := E.now e)
     done;
@@ -115,7 +115,7 @@ let test_multi_id_is_faster () =
 let test_write_response () =
   let e, port = mk () in
   let done_ = ref false in
-  Axi.write port ~id:2 ~addr:4096 ~beats:8 ~on_done:(fun () -> done_ := true);
+  Axi.write port ~id:2 ~addr:4096 ~beats:8 ~on_done:(fun _resp -> done_ := true);
   E.run e;
   check_bool "B response delivered" true !done_;
   check_int "one write issued" 1 (Axi.writes_issued port)
@@ -188,7 +188,7 @@ let props =
           (fun i (id, beats) ->
             Axi.read port ~id ~addr:(i * 4096) ~beats
               ~on_beat:(fun ~beat:_ -> ())
-              ~on_done:(fun () ->
+              ~on_done:(fun _resp ->
                 let cur =
                   Option.value ~default:[] (Hashtbl.find_opt completions id)
                 in

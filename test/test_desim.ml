@@ -60,8 +60,43 @@ let test_schedule_past_rejected () =
   E.schedule e ~delay:10 (fun () -> ());
   E.run e;
   Alcotest.check_raises "past time"
-    (Invalid_argument "Engine.schedule_at: time in the past") (fun () ->
-      E.schedule_at e ~time:5 (fun () -> ()))
+    (Invalid_argument
+       "Engine.schedule_at: time 5 is in the past (clock is at 10)")
+    (fun () -> E.schedule_at e ~time:5 (fun () -> ()))
+
+let test_livelock_guard () =
+  let e = E.create () in
+  (* a self-rescheduling event never drains: the guard must trip *)
+  let rec again () = E.schedule e ~delay:1 again in
+  again ();
+  (match E.run ~max_events:1000 e with
+  | () -> Alcotest.fail "expected Livelock"
+  | exception E.Livelock { fired; pending; _ } ->
+      check_int "fired the budget" 1000 fired;
+      check_bool "work still pending" true (pending > 0));
+  (* drain_or_fail converts it into a Failure naming the pending count *)
+  let e2 = E.create () in
+  let rec again2 () = E.schedule e2 ~delay:1 again2 in
+  again2 ();
+  (match E.drain_or_fail ~max_events:100 e2 with
+  | () -> Alcotest.fail "expected Failure"
+  | exception Failure msg ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      check_bool "message reports pending events" true
+        (contains msg "pending event(s)"))
+
+let test_drain_or_fail_clean () =
+  let e = E.create () in
+  let hits = ref 0 in
+  for _ = 1 to 5 do
+    E.schedule e ~delay:3 (fun () -> incr hits)
+  done;
+  E.drain_or_fail e;
+  check_int "clean drain fires everything" 5 !hits
 
 let test_heap_stress () =
   (* Push events with pseudo-random times, check they fire sorted. *)
@@ -205,6 +240,9 @@ let () =
           Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
           Alcotest.test_case "run until" `Quick test_run_until;
           Alcotest.test_case "past rejected" `Quick test_schedule_past_rejected;
+          Alcotest.test_case "livelock guard" `Quick test_livelock_guard;
+          Alcotest.test_case "drain_or_fail clean" `Quick
+            test_drain_or_fail_clean;
           Alcotest.test_case "heap stress" `Quick test_heap_stress;
         ] );
       ( "channel",

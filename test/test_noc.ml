@@ -51,16 +51,17 @@ let test_send_timing () =
   let e = Desim.Engine.create () in
   let noc = Noc.build prm ~root_slr:0 ~endpoints:(eps_of_list [ 0; 2 ]) in
   let t_near = ref 0 and t_far = ref 0 in
-  Noc.send noc e ~ep_id:0 (fun () -> t_near := Desim.Engine.now e);
-  Noc.send noc e ~ep_id:1 (fun () -> t_far := Desim.Engine.now e);
+  ignore (Noc.send noc e ~ep_id:0 (fun () -> t_near := Desim.Engine.now e));
+  ignore (Noc.send noc e ~ep_id:1 (fun () -> t_far := Desim.Engine.now e));
   Desim.Engine.run e;
   check_int "near latency" (Noc.latency_ps noc ~ep_id:0) !t_near;
   check_int "far latency" (Noc.latency_ps noc ~ep_id:1) !t_far;
   check_int "messages counted" 2 (Noc.messages_sent noc);
   (* multi-beat payloads add a cycle per extra beat *)
   let t_payload = ref 0 in
-  Noc.send noc e ~ep_id:0 ~payload_beats:5 (fun () ->
-      t_payload := Desim.Engine.now e);
+  ignore
+    (Noc.send noc e ~ep_id:0 ~payload_beats:5 (fun () ->
+         t_payload := Desim.Engine.now e));
   Desim.Engine.run e;
   check_int "payload beats add cycles"
     (Noc.latency_ps noc ~ep_id:0 + (4 * 4000))

@@ -41,8 +41,11 @@ let test_alloc_double_free_rejected () =
   let p = Option.get (A.alloc a 4096) in
   A.free a p;
   Alcotest.check_raises "double free"
-    (Invalid_argument "Alloc.free: not an allocated base") (fun () ->
-      A.free a p)
+    (A.Invalid_free { addr = p; reason = A.Double_free }) (fun () ->
+      A.free a p);
+  Alcotest.check_raises "never allocated"
+    (A.Invalid_free { addr = 12288; reason = A.Never_allocated }) (fun () ->
+      A.free a 12288)
 
 (* ---- fpga_handle over a tiny SoC ---- *)
 
@@ -78,8 +81,11 @@ let test_handle_malloc_dma () =
     (Bytes.get_int32_le (H.host_bytes h p) 4);
   H.mfree h p;
   Alcotest.check_raises "stale pointer"
-    (Invalid_argument "fpga_handle: stale remote_ptr") (fun () ->
-      ignore (H.host_bytes h p))
+    (H.Stale_pointer { addr = p.H.rp_addr; bytes = p.H.rp_bytes }) (fun () ->
+      ignore (H.host_bytes h p));
+  Alcotest.check_raises "double mfree"
+    (A.Invalid_free { addr = p.H.rp_addr; reason = A.Double_free }) (fun () ->
+      H.mfree h p)
 
 let test_handle_command_roundtrip () =
   let h = mk_handle () in
