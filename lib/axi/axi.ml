@@ -1,3 +1,7 @@
+(* The structured tracer from lib/trace; aliased before the local ASCII
+   [Trace] module below shadows the library name. *)
+module Tracer = Trace
+
 module Resp = struct
   type t = Okay | Slverr | Decerr
 
@@ -118,6 +122,8 @@ type txn = {
   txn_on_beat : beat:int -> unit;
   txn_on_done : Resp.t -> unit;
   txn_issued_at : int;
+  txn_span : int option; (* structured-trace span for this burst *)
+  txn_track : string;
 }
 
 type id_queue = { q : txn Queue.t; mutable in_flight : bool }
@@ -127,6 +133,9 @@ type t = {
   dram : Dram.t;
   prm : Params.t;
   trace : Trace.t option;
+  tracer : Tracer.t option;
+  port_name : string;
+  mutable outstanding : int; (* accepted but not yet responded *)
   fault : Fault.Injector.t option;
   (* Per-(direction, id) queues. At most one transaction per queue is in
      flight at the DRAM; the rest wait — same-ID ordering. *)
@@ -139,12 +148,15 @@ type t = {
   mutable error_responses : int;
 }
 
-let create ?trace ?fault engine dram prm =
+let create ?trace ?tracer ?(name = "axi") ?fault engine dram prm =
   {
     engine;
     dram;
     prm;
     trace;
+    tracer;
+    port_name = name;
+    outstanding = 0;
     fault;
     read_queues =
       Array.init prm.Params.n_ids (fun _ ->
@@ -162,6 +174,41 @@ let create ?trace ?fault engine dram prm =
 let params t = t.prm
 
 let record t ev = match t.trace with Some tr -> Trace.record tr ev | None -> ()
+
+let sample_outstanding t =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Tracer.sample tr
+        ~now:(Desim.Engine.now t.engine)
+        (t.port_name ^ ".outstanding")
+        t.outstanding
+
+(* Close a burst's span and update registry counters at response time. *)
+let finish_txn t txn resp =
+  t.outstanding <- t.outstanding - 1;
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      let now = Desim.Engine.now t.engine in
+      (match txn.txn_span with
+      | None -> ()
+      | Some span ->
+          Tracer.add_arg tr span "resp" (Tracer.Str (Resp.name resp));
+          Tracer.end_span tr ~now span);
+      let bytes = txn.txn_beats * t.prm.Params.data_bytes in
+      let lat = float_of_int (now - txn.txn_issued_at) in
+      (match txn.txn_dir with
+      | Dram.Read ->
+          if resp = Resp.Okay then
+            Tracer.add tr (t.port_name ^ ".read_bytes") bytes;
+          Tracer.observe tr (t.port_name ^ ".rd_latency_ps") lat
+      | Dram.Write ->
+          if resp = Resp.Okay then
+            Tracer.add tr (t.port_name ^ ".write_bytes") bytes;
+          Tracer.observe tr (t.port_name ^ ".wr_latency_ps") lat);
+      if Resp.is_error resp then Tracer.add tr (t.port_name ^ ".errors") 1;
+      sample_outstanding t
 
 let check_burst t ~id ~addr ~beats =
   if id < 0 || id >= t.prm.Params.n_ids then invalid_arg "Axi: bad id";
@@ -203,12 +250,12 @@ let rec launch t queue =
                      | Dram.Read -> "rd"
                      | Dram.Write -> "wr")
                      txn.txn_id txn.txn_addr txn.txn_beats (Resp.name resp));
-              Some resp
+              Some (resp, Fault.Injector.last_id inj)
             end
             else None
       in
       (match injected_resp with
-      | Some resp ->
+      | Some (resp, fault_id) ->
           (* the slave errors the whole burst: no data beats, an error
              response after roughly a CAS latency *)
           let cfg = Dram.config t.dram in
@@ -217,6 +264,12 @@ let rec launch t queue =
           Desim.Engine.schedule t.engine ~delay:err_latency (fun () ->
               queue.in_flight <- false;
               ignore (Queue.pop queue.q);
+              (match (t.tracer, txn.txn_span) with
+              | Some tr, Some span ->
+                  (* cross-reference the fault-ledger entry that errored us *)
+                  Tracer.add_arg tr span "fault_id" (Tracer.Int fault_id)
+              | _ -> ());
+              finish_txn t txn resp;
               txn.txn_on_done resp;
               launch t queue)
       | None ->
@@ -246,6 +299,13 @@ let rec launch t queue =
             record t
               { Trace.time = now; id = txn.txn_id; channel = Trace.W beat;
                 addr = txn.txn_addr });
+        (match t.tracer with
+        | None -> ()
+        | Some tr ->
+            Tracer.instant tr ~now ?parent:txn.txn_span ~track:txn.txn_track
+              ~cat:"axi.beat"
+              ~name:(Printf.sprintf "beat %d" beat)
+              ());
         txn.txn_on_beat ~beat
       in
       Dram.submit t.dram ~addr:txn.txn_addr
@@ -278,19 +338,38 @@ let rec launch t queue =
           ;
           queue.in_flight <- false;
           ignore (Queue.pop queue.q);
+          finish_txn t txn Resp.Okay;
           txn.txn_on_done Resp.Okay;
           launch t queue)
-        ())
+        ?span:txn.txn_span ())
 
 let enqueue t queue txn =
   Queue.push txn queue.q;
   launch t queue
 
-let read t ~id ~addr ~beats ~on_beat ~on_done =
+(* Open the burst span at issue time (the AR/AW handshake). *)
+let open_span t ~dir ~parent ~id ~addr ~beats ~now =
+  let dir_s = match dir with Dram.Read -> "rd" | Dram.Write -> "wr" in
+  let track = Printf.sprintf "%s %s id%02d" t.port_name dir_s id in
+  let span =
+    match t.tracer with
+    | None -> None
+    | Some tr ->
+        Some
+          (Tracer.begin_span tr ~now ?parent ~track ~cat:"axi"
+             ~name:(Printf.sprintf "%s 0x%x x%d" dir_s addr beats)
+             ())
+  in
+  t.outstanding <- t.outstanding + 1;
+  sample_outstanding t;
+  (span, track)
+
+let read ?span:parent t ~id ~addr ~beats ~on_beat ~on_done =
   check_burst t ~id ~addr ~beats;
   let now = Desim.Engine.now t.engine in
   t.reads_issued <- t.reads_issued + 1;
   record t { Trace.time = now; id; channel = Trace.AR; addr };
+  let span, track = open_span t ~dir:Dram.Read ~parent ~id ~addr ~beats ~now in
   enqueue t t.read_queues.(id)
     {
       txn_id = id;
@@ -300,13 +379,18 @@ let read t ~id ~addr ~beats ~on_beat ~on_done =
       txn_on_beat = on_beat;
       txn_on_done = on_done;
       txn_issued_at = now;
+      txn_span = span;
+      txn_track = track;
     }
 
-let write t ~id ~addr ~beats ~on_done =
+let write ?span:parent t ~id ~addr ~beats ~on_done =
   check_burst t ~id ~addr ~beats;
   let now = Desim.Engine.now t.engine in
   t.writes_issued <- t.writes_issued + 1;
   record t { Trace.time = now; id; channel = Trace.AW; addr };
+  let span, track =
+    open_span t ~dir:Dram.Write ~parent ~id ~addr ~beats ~now
+  in
   enqueue t t.write_queues.(id)
     {
       txn_id = id;
@@ -316,6 +400,8 @@ let write t ~id ~addr ~beats ~on_done =
       txn_on_beat = (fun ~beat:_ -> ());
       txn_on_done = on_done;
       txn_issued_at = now;
+      txn_span = span;
+      txn_track = track;
     }
 
 let error_responses t = t.error_responses

@@ -8,6 +8,10 @@
     may complete out of order. A {!Trace} records the channel events used
     to regenerate Fig. 5. *)
 
+module Tracer = Trace
+(** Alias for the structured tracer from [lib/trace], visible despite the
+    local {!Trace} (ASCII channel-event log) below shadowing the name. *)
+
 module Resp : sig
   type t =
     | Okay
@@ -69,6 +73,8 @@ type t
 
 val create :
   ?trace:Trace.t ->
+  ?tracer:Tracer.t ->
+  ?name:string ->
   ?fault:Fault.Injector.t ->
   Desim.Engine.t ->
   Dram.t ->
@@ -76,11 +82,16 @@ val create :
   t
 (** With [fault], each burst reaching the head of its ID queue may be
     turned into a transient SLVERR/DECERR: no data beats fire and the
-    error response arrives after roughly a CAS latency. *)
+    error response arrives after roughly a CAS latency. With [tracer],
+    every burst opens a span (track ["<name> rd id<NN>"]) carrying the
+    response code, byte counters, per-direction latency series, and an
+    outstanding-transaction occupancy sample stream; [name] defaults to
+    ["axi"] and prefixes all registry entries for this port. *)
 
 val params : t -> Params.t
 
 val read :
+  ?span:int ->
   t ->
   id:int ->
   addr:int ->
@@ -91,10 +102,17 @@ val read :
 (** Issue one read burst. [on_beat] fires as each data beat is delivered in
     order; [on_done] after the last beat with the response code (on an
     error response no beats fire at all). Raises [Invalid_argument] for
-    illegal bursts (too long, 4 KB crossing, bad id). *)
+    illegal bursts (too long, 4 KB crossing, bad id). [span] is the parent
+    span (typically a reader stream) for the burst's trace span. *)
 
 val write :
-  t -> id:int -> addr:int -> beats:int -> on_done:(Resp.t -> unit) -> unit
+  ?span:int ->
+  t ->
+  id:int ->
+  addr:int ->
+  beats:int ->
+  on_done:(Resp.t -> unit) ->
+  unit
 (** Issue one write burst; the master is assumed to supply write data at
     full rate. [on_done] fires with the B response code. *)
 

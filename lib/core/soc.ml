@@ -22,6 +22,7 @@ type t = {
   mutable next_axi_id : int;
   fault : Fault.Injector.t option;
   policy : Fault.Policy.t;
+  tracer : Trace.t option;
 }
 
 and ctx = {
@@ -38,11 +39,16 @@ and core_inst = {
   ci_writers : (string, writer array) Hashtbl.t;
   ci_spads : (string, spad) Hashtbl.t;
   ci_behavior : behavior;
-  ci_queue : (Rocc.t list * (int64 -> unit)) Queue.t;
+  ci_queue : (Rocc.t list * int option * (int64 -> unit)) Queue.t;
+      (* queued beats carry the trace span of the issuing host command *)
   mutable ci_partial : Rocc.t list;
   mutable ci_busy : bool;
   mutable ci_hung : bool;
   mutable ci_partial_epoch : int;
+  ci_track : string; (* trace lane, "core <system>/<id>" *)
+  ci_cur_span : int option ref;
+      (* execution span of the in-flight command; shared with the core's
+         readers/writers so their streams parent under it *)
 }
 
 and behavior = ctx -> Rocc.t list -> respond:(int64 -> unit) -> unit
@@ -54,6 +60,8 @@ and reader = {
   r_base_id : int;
   r_noc_ps : int;
   mutable r_busy : bool;
+  r_track : string;
+  r_parent : unit -> int option; (* current exec span of the owning core *)
 }
 
 and writer = {
@@ -64,6 +72,8 @@ and writer = {
   w_noc_ps : int;
   mutable w_busy : bool;
   mutable w_txn : writer_txn option;
+  w_track : string;
+  w_parent : unit -> int option;
 }
 
 and writer_txn = {
@@ -80,6 +90,7 @@ and writer_txn = {
   wt_on_done : unit -> unit;
   mutable wt_bursts_outstanding : int;
   mutable wt_all_issued : bool;
+  wt_span : int option; (* trace span covering the whole transaction *)
 }
 
 and spad = {
@@ -172,6 +183,28 @@ module Reader = struct
     if r.r_cfg.Config.rc_use_tlp then (r.r_base_id + k) mod n
     else r.r_base_id
 
+  (* Open a span covering one reader/writer stream, parented under the
+     owning core's in-flight execution span; returns an [on_done] wrapper
+     that closes it. *)
+  let stream_span soc ~track ~parent ~hop_ps ~cat ~name ~on_done =
+    match soc.tracer with
+    | None -> (None, on_done)
+    | Some tr ->
+        let clock_ps = soc.platform.Platform.Device.fabric_clock_ps in
+        Trace.observe tr "noc.mem.hop_ps" (float_of_int hop_ps);
+        Trace.observe_hist tr "noc.mem.hop_ps"
+          ~bucket_width:(float_of_int clock_ps)
+          (float_of_int hop_ps);
+        let sp =
+          Trace.begin_span tr
+            ~now:(Desim.Engine.now soc.engine)
+            ?parent:(parent ()) ~track ~cat ~name ()
+        in
+        ( Some sp,
+          fun () ->
+            Trace.end_span tr ~now:(Desim.Engine.now soc.engine) sp;
+            on_done () )
+
   let stream (r : r) ~addr ~bytes ?item_bytes ~on_item ~on_done () =
     if r.r_busy then failwith "Reader busy: one stream at a time";
     if bytes <= 0 then invalid_arg "Reader.stream: bytes";
@@ -184,6 +217,12 @@ module Reader = struct
     in
     if item_bytes > bb || bb mod item_bytes <> 0 then
       invalid_arg "Reader.stream: item width must divide the AXI beat";
+    let span, on_done =
+      stream_span r.r_soc ~track:r.r_track ~parent:r.r_parent
+        ~hop_ps:r.r_noc_ps ~cat:"mem"
+        ~name:(Printf.sprintf "rd.stream 0x%x %dB" addr bytes)
+        ~on_done
+    in
     let items_per_beat = bb / item_bytes in
     let lead_items = addr mod bb / item_bytes in
     let n_items = ((bytes - 1) / item_bytes) + 1 in
@@ -234,7 +273,7 @@ module Reader = struct
       Desim.Engine.schedule engine
         ~delay:(r.r_noc_ps + coherence_ps r.r_soc)
         (fun () ->
-          Axi.read r.r_axi ~id ~addr:seg.Axi.Burst.addr
+          Axi.read ?span r.r_axi ~id ~addr:seg.Axi.Burst.addr
             ~beats:seg.Axi.Burst.beats
             ~on_beat:(fun ~beat ->
               (* data beat returns through the NoC *)
@@ -329,6 +368,12 @@ module Reader = struct
     if r.r_busy then failwith "Reader busy: one stream at a time";
     r.r_busy <- true;
     let engine = r.r_soc.engine in
+    let span, on_done =
+      stream_span r.r_soc ~track:r.r_track ~parent:r.r_parent
+        ~hop_ps:r.r_noc_ps ~cat:"mem"
+        ~name:(Printf.sprintf "rd.bulk 0x%x %dB" addr bytes)
+        ~on_done
+    in
     let segs = Array.of_list (segments_for r ~addr ~bytes) in
     let n_segs = Array.length segs in
     let in_flight = ref 0 in
@@ -362,7 +407,7 @@ module Reader = struct
       Desim.Engine.schedule engine
         ~delay:(r.r_noc_ps + coherence_ps r.r_soc)
         (fun () ->
-          Axi.read r.r_axi ~id ~addr:seg.Axi.Burst.addr
+          Axi.read ?span r.r_axi ~id ~addr:seg.Axi.Burst.addr
             ~beats:seg.Axi.Burst.beats
             ~on_beat:(fun ~beat:_ -> ())
             ~on_done:(fun resp ->
@@ -460,7 +505,8 @@ module Writer = struct
           else try_ship w txn
         in
         let rec attempt_write attempt =
-          Axi.write w.w_axi ~id ~addr ~beats ~on_done:(fun resp ->
+          Axi.write ?span:txn.wt_span w.w_axi ~id ~addr ~beats
+            ~on_done:(fun resp ->
               match resp with
               | Axi.Resp.Okay ->
                   fault_resolve w.w_soc ~cls:Fault.Class.Axi_write_error
@@ -492,9 +538,16 @@ module Writer = struct
     let bb = beat_bytes w in
     let addr0 = addr - (addr mod bb) in
     let padded = ((addr + bytes + bb - 1) / bb * bb) - addr0 in
+    let span, on_done =
+      Reader.stream_span w.w_soc ~track:w.w_track ~parent:w.w_parent
+        ~hop_ps:w.w_noc_ps ~cat:"mem"
+        ~name:(Printf.sprintf "wr.txn 0x%x %dB" addr bytes)
+        ~on_done
+    in
     w.w_txn <-
       Some
         {
+          wt_span = span;
           wt_total_items = ((bytes - 1) / item_bytes) + 1;
           wt_item_bytes = item_bytes;
           wt_pushed = 0;
@@ -540,6 +593,12 @@ module Writer = struct
     if w.w_busy then failwith "Writer busy: one transaction at a time";
     w.w_busy <- true;
     let engine = w.w_soc.engine in
+    let span, on_done =
+      Reader.stream_span w.w_soc ~track:w.w_track ~parent:w.w_parent
+        ~hop_ps:w.w_noc_ps ~cat:"mem"
+        ~name:(Printf.sprintf "wr.bulk 0x%x %dB" addr bytes)
+        ~on_done
+    in
     let prm = Axi.params w.w_axi in
     let bb = prm.Axi.Params.data_bytes in
     let addr0 = addr - (addr mod bb) in
@@ -586,7 +645,7 @@ module Writer = struct
       Desim.Engine.schedule engine
         ~delay:(w.w_noc_ps + coherence_ps w.w_soc)
         (fun () ->
-          Axi.write w.w_axi ~id ~addr:seg.Axi.Burst.addr
+          Axi.write ?span w.w_axi ~id ~addr:seg.Axi.Burst.addr
             ~beats:seg.Axi.Burst.beats ~on_done:(fun resp ->
               match resp with
               | Axi.Resp.Okay ->
@@ -675,9 +734,9 @@ let fresh_axi_id t =
    the platform developer's channel assignment would *)
 let port_for t ep = t.axi_ports.(ep mod Array.length t.axi_ports)
 
-let make_reader t ~cfg ~ep ~noc_ps =
+let make_reader t ~cfg ~ep ~noc_ps ~track ~parent =
   { r_soc = t; r_axi = port_for t ep; r_cfg = cfg; r_base_id = fresh_axi_id t;
-    r_noc_ps = noc_ps; r_busy = false }
+    r_noc_ps = noc_ps; r_busy = false; r_track = track; r_parent = parent }
 
 let spad_fill_channel (sp : Config.scratchpad) =
   Config.read_channel ~name:(sp.Config.sp_name ^ "[init]")
@@ -686,20 +745,25 @@ let spad_fill_channel (sp : Config.scratchpad) =
 
 let next_soc_uid = ref 0
 
-let create ?(memory_bytes = 64 * 1024 * 1024) ?trace ?fault
+let create ?(memory_bytes = 64 * 1024 * 1024) ?trace ?tracer ?fault
     ?(policy = Fault.Policy.default) (design : Elaborate.t) ~behaviors =
   incr next_soc_uid;
   let engine = Desim.Engine.create () in
   let platform = design.Elaborate.platform in
   let dram = Dram.create engine platform.Platform.Device.dram in
+  (match tracer with Some tr -> Dram.set_tracer dram tr | None -> ());
   (* one AXI port per DDR controller; they share the DRAM device model,
      but each has its own per-ID transaction queues *)
   let n_ports = max 1 platform.Platform.Device.dram.Dram.Config.n_channels in
   let axi_ports =
     Array.init n_ports (fun i ->
+        let name = Printf.sprintf "ddr%d" i in
         if i = 0 then
-          Axi.create ?trace ?fault engine dram platform.Platform.Device.axi
-        else Axi.create ?fault engine dram platform.Platform.Device.axi)
+          Axi.create ?trace ?tracer ~name ?fault engine dram
+            platform.Platform.Device.axi
+        else
+          Axi.create ?tracer ~name ?fault engine dram
+            platform.Platform.Device.axi)
   in
   let axi = axi_ports.(0) in
   let n_cores = Config.total_cores design.Elaborate.config in
@@ -722,6 +786,7 @@ let create ?(memory_bytes = 64 * 1024 * 1024) ?trace ?fault
       next_axi_id = 0;
       fault;
       policy;
+      tracer;
     }
   in
   (* Wire the ECC/fault tap into the DRAM model: every read burst may
@@ -798,6 +863,14 @@ let create ?(memory_bytes = 64 * 1024 * 1024) ?trace ?fault
         let mem_noc_ps chan =
           Noc.latency_ps design.Elaborate.mem_noc ~ep_id:(mem_ep chan)
         in
+        (* the core's in-flight execution span; channel streams started by
+           the behavior parent under it *)
+        let cur_span = ref None in
+        let parent () = !cur_span in
+        let core_track =
+          Printf.sprintf "core %s/%d" sys.Config.sys_name core
+        in
+        let chan_track chan = Printf.sprintf "%s %s" core_track chan in
         let readers = Hashtbl.create 4 in
         List.iter
           (fun rc ->
@@ -805,7 +878,8 @@ let create ?(memory_bytes = 64 * 1024 * 1024) ?trace ?fault
               Array.init rc.Config.rc_n_channels (fun i ->
                   let chan = Printf.sprintf "%s[%d]" rc.Config.rc_name i in
                   make_reader t ~cfg:rc ~ep:(mem_ep chan)
-                    ~noc_ps:(mem_noc_ps chan))
+                    ~noc_ps:(mem_noc_ps chan) ~track:(chan_track chan)
+                    ~parent)
             in
             Hashtbl.add readers rc.Config.rc_name arr)
           sys.Config.read_channels;
@@ -823,6 +897,8 @@ let create ?(memory_bytes = 64 * 1024 * 1024) ?trace ?fault
                     w_noc_ps = mem_noc_ps chan;
                     w_busy = false;
                     w_txn = None;
+                    w_track = chan_track chan;
+                    w_parent = parent;
                   })
             in
             Hashtbl.add writers wc.Config.wc_name arr)
@@ -842,7 +918,9 @@ let create ?(memory_bytes = 64 * 1024 * 1024) ?trace ?fault
                 sp_cfg = sp;
                 sp_soc = t;
                 sp_reader =
-                  make_reader t ~cfg:(spad_fill_channel sp) ~ep:sp_ep ~noc_ps;
+                  make_reader t ~cfg:(spad_fill_channel sp) ~ep:sp_ep ~noc_ps
+                    ~track:(chan_track (sp.Config.sp_name ^ "[init]"))
+                    ~parent;
                 sp_data = Bytes.make (row_bytes * sp.Config.sp_n_datas) '\000';
                 sp_row_bytes = row_bytes;
               })
@@ -860,6 +938,8 @@ let create ?(memory_bytes = 64 * 1024 * 1024) ?trace ?fault
               ci_busy = false;
               ci_hung = false;
               ci_partial_epoch = 0;
+              ci_track = core_track;
+              ci_cur_span = cur_span;
             }
       done)
     design.Elaborate.config.Config.systems;
@@ -868,6 +948,7 @@ let create ?(memory_bytes = 64 * 1024 * 1024) ?trace ?fault
 
 let engine t = t.engine
 let uid t = t.soc_uid
+let tracer t = t.tracer
 let fault_injector t = t.fault
 let policy t = t.policy
 let axi_ports t = t.axi_ports
@@ -894,13 +975,42 @@ let core_hung t ~system_id ~core_id =
 let spec_for (sys : Config.system) funct =
   List.find_opt (fun c -> c.Cmd_spec.cmd_funct = funct) sys.Config.commands
 
+let queue_depth_name (ci : core_inst) =
+  Printf.sprintf "cmdq.%s/%d.depth" ci.ci_ctx.system.Config.sys_name
+    ci.ci_ctx.core_id
+
 let rec pump_core t (ci : core_inst) =
   if (not ci.ci_busy) && (not ci.ci_hung) && not (Queue.is_empty ci.ci_queue)
   then begin
     ci.ci_busy <- true;
-    let beats, respond = Queue.pop ci.ci_queue in
+    let beats, cmd_span, respond = Queue.pop ci.ci_queue in
+    let start = Desim.Engine.now t.engine in
+    let exec_span =
+      match t.tracer with
+      | None -> None
+      | Some tr ->
+          Trace.sample tr ~now:start (queue_depth_name ci)
+            (Queue.length ci.ci_queue);
+          Some
+            (Trace.begin_span tr ~now:start ?parent:cmd_span
+               ~track:ci.ci_track ~cat:"exec"
+               ~name:
+                 (Printf.sprintf "exec funct=%d"
+                    (List.hd beats).Rocc.funct)
+               ())
+    in
+    ci.ci_cur_span := exec_span;
     ci.ci_behavior ci.ci_ctx beats ~respond:(fun data ->
         ci.ci_busy <- false;
+        (match (t.tracer, exec_span) with
+        | Some tr, Some sp ->
+            let now = Desim.Engine.now t.engine in
+            Trace.end_span tr ~now sp;
+            Trace.add tr
+              (Printf.sprintf "%s.busy_ps" ci.ci_track)
+              (now - start);
+            ci.ci_cur_span := None
+        | _ -> ());
         respond data;
         pump_core t ci)
   end
@@ -909,10 +1019,12 @@ let rec pump_core t (ci : core_inst) =
    injection/recovery is logged, drops are recorded under [key] for the
    runtime watchdog to resolve. Without a fault injector this is a plain
    [Noc.send]. *)
-let cmd_noc_send t ~ep_id ~key ~drop_cls ~site k =
+let cmd_noc_send t ~ep_id ~key ~drop_cls ~site ?span k =
   let cmd_noc = t.design.Elaborate.cmd_noc in
+  let tracer = t.tracer in
   match t.fault with
-  | None -> ignore (Noc.send cmd_noc t.engine ~ep_id k)
+  | None ->
+      ignore (Noc.send cmd_noc t.engine ~ep_id ?tracer ~label:"cmd" ?span k)
   | Some inj -> (
       let delayed = ref false in
       let k' () =
@@ -921,7 +1033,10 @@ let cmd_noc_send t ~ep_id ~key ~drop_cls ~site k =
             ~cls:Fault.Class.Noc_delay ~kind:Fault.Log.Recovered ~site;
         k ()
       in
-      match Noc.send cmd_noc t.engine ~ep_id ~fault:(inj, drop_cls) k' with
+      match
+        Noc.send cmd_noc t.engine ~ep_id ?tracer ~label:"cmd" ?span
+          ~fault:(inj, drop_cls) k'
+      with
       | Noc.Delivered -> ()
       | Noc.Delayed d ->
           delayed := true;
@@ -930,9 +1045,15 @@ let cmd_noc_send t ~ep_id ~key ~drop_cls ~site k =
             ~site:(Printf.sprintf "%s (+%d ps)" site d)
       | Noc.Dropped ->
           Fault.Injector.note_lost inj ~now:(Desim.Engine.now t.engine)
-            ~cls:drop_cls ~key ~site)
+            ~cls:drop_cls ~key ~site;
+          (match (tracer, span) with
+          | Some tr, Some sp ->
+              (* tie the lost message back to its ledger entry *)
+              Trace.add_arg tr sp "fault_id"
+                (Trace.Int (Fault.Injector.last_id inj))
+          | _ -> ()))
 
-let send_command t (cmd : Rocc.t) ~on_response =
+let send_command ?span t (cmd : Rocc.t) ~on_response =
   let systems = t.design.Elaborate.config.Config.systems in
   if cmd.Rocc.system_id < 0 || cmd.Rocc.system_id >= List.length systems then
     invalid_arg
@@ -992,6 +1113,7 @@ let send_command t (cmd : Rocc.t) ~on_response =
               ~site:
                 (Printf.sprintf "resp sys=%d core=%d" cmd.Rocc.system_id
                    cmd.Rocc.core_id)
+              ?span
               (fun () ->
                 Desim.Engine.schedule t.engine ~delay:mmio_ps (fun () ->
                     on_response
@@ -1001,7 +1123,14 @@ let send_command t (cmd : Rocc.t) ~on_response =
                         resp_data = data;
                       }))
           in
-          Queue.push (beats, respond) ci.ci_queue;
+          Queue.push (beats, span, respond) ci.ci_queue;
+          (match t.tracer with
+          | Some tr ->
+              Trace.sample tr
+                ~now:(Desim.Engine.now t.engine)
+                (queue_depth_name ci)
+                (Queue.length ci.ci_queue)
+          | None -> ());
           pump_core t ci
         end
       end
@@ -1032,7 +1161,7 @@ let send_command t (cmd : Rocc.t) ~on_response =
         ~site:
           (Printf.sprintf "cmd beat sys=%d core=%d funct=%d"
              cmd.Rocc.system_id cmd.Rocc.core_id cmd.Rocc.funct)
-        deliver)
+        ?span deliver)
 
 (* ------------------------------------------------------------------ *)
 (* Behavior-facing accessors                                           *)
@@ -1137,11 +1266,11 @@ let stats_report t =
   in
   pr "  AXI: %d read txns, %d write txns over %d port(s)" reads writes
     (Array.length t.axi_ports);
-  (try
-     let s = Desim.Stats.summarize (Axi.read_latency t.axi) in
-     pr ", read latency mean %.0f ns (max %.0f)" (s.Desim.Stats.mean /. 1000.)
-       (s.Desim.Stats.max /. 1000.)
-   with Failure _ -> ());
+  (match Desim.Stats.summarize_opt (Axi.read_latency t.axi) with
+  | Some s ->
+      pr ", read latency mean %.0f ns (max %.0f)" (s.Desim.Stats.mean /. 1000.)
+        (s.Desim.Stats.max /. 1000.)
+  | None -> ());
   pr "\n";
   pr "  NoC: %d command messages, %d memory-fabric buffers\n"
     (Noc.messages_sent t.design.Elaborate.cmd_noc)

@@ -130,6 +130,7 @@ type behavior = ctx -> Rocc.t list -> respond:(int64 -> unit) -> unit
 val create :
   ?memory_bytes:int ->
   ?trace:Axi.Trace.t ->
+  ?tracer:Trace.t ->
   ?fault:Fault.Injector.t ->
   ?policy:Fault.Policy.t ->
   Elaborate.t ->
@@ -141,12 +142,21 @@ val create :
     scrub-on-read path), AXI bursts may error (retried with exponential
     backoff up to [policy.axi_max_retries]), command/response beats may be
     dropped or delayed in the command NoC, and a planned core hang makes
-    its victim swallow traffic until the runtime quarantines it. *)
+    its victim swallow traffic until the runtime quarantines it.
+
+    With [tracer], the whole stack records structured spans and counters:
+    core execution, reader/writer streams, AXI bursts (every port, named
+    [ddr0..ddrN]), DRAM activity, and command-NoC hops, all correlated by
+    the issuing command's span/transaction id. Absent the tracer no
+    recording happens anywhere on the hot path. *)
 
 val engine : t -> Desim.Engine.t
 
 val uid : t -> int
 (** Unique per SoC instance within the process. *)
+
+val tracer : t -> Trace.t option
+(** The structured tracer given at construction, if any. *)
 
 val fault_injector : t -> Fault.Injector.t option
 val policy : t -> Fault.Policy.t
@@ -170,10 +180,12 @@ val axi_ports : t -> Axi.t array
     by endpoint, as a platform developer's channel mapping would. *)
 
 val send_command :
-  t -> Rocc.t -> on_response:(Rocc.response -> unit) -> unit
+  ?span:int -> t -> Rocc.t -> on_response:(Rocc.response -> unit) -> unit
 (** Deliver a RoCC command beat through the MMIO frontend and the command
     NoC. [on_response] fires (at the MMIO boundary) for the final beat's
-    response when the command declares one. *)
+    response when the command declares one. [span] is the issuing host
+    command's trace span: NoC hops and the core's execution span parent
+    under it. *)
 
 (** {1 Device memory contents} *)
 

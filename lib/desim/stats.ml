@@ -17,20 +17,55 @@ type series = {
   mutable total : float;
   mutable mn : float;
   mutable mx : float;
+  mutable samples : float array; (* first [n] slots are live *)
 }
 
-let series () = { n = 0; total = 0.; mn = infinity; mx = neg_infinity }
+let series () =
+  { n = 0; total = 0.; mn = infinity; mx = neg_infinity; samples = [||] }
 
 let observe s x =
+  if s.n = Array.length s.samples then begin
+    let grown = Array.make (max 16 (2 * s.n)) 0. in
+    Array.blit s.samples 0 grown 0 s.n;
+    s.samples <- grown
+  end;
+  s.samples.(s.n) <- x;
   s.n <- s.n + 1;
   s.total <- s.total +. x;
   if x < s.mn then s.mn <- x;
   if x > s.mx then s.mx <- x
 
+let summarize_opt s =
+  if s.n = 0 then None
+  else
+    Some
+      {
+        n = s.n;
+        mean = s.total /. float_of_int s.n;
+        min = s.mn;
+        max = s.mx;
+        total = s.total;
+      }
+
 let summarize s =
-  if s.n = 0 then failwith "Stats.summarize: empty series";
-  { n = s.n; mean = s.total /. float_of_int s.n; min = s.mn; max = s.mx;
-    total = s.total }
+  match summarize_opt s with
+  | Some sum -> sum
+  | None -> failwith "Stats.summarize: empty series"
+
+let quantile_opt s ~q =
+  if s.n = 0 then None
+  else begin
+    let a = Array.sub s.samples 0 s.n in
+    Array.sort Float.compare a;
+    let q = Float.max 0. (Float.min 1. q) in
+    (* linear interpolation between closest ranks *)
+    let pos = q *. float_of_int (s.n - 1) in
+    let i = int_of_float pos in
+    let frac = pos -. float_of_int i in
+    Some
+      (if i + 1 < s.n then a.(i) +. (frac *. (a.(i + 1) -. a.(i)))
+       else a.(i))
+  end
 
 type histogram = { bucket_width : float; table : (int, int) Hashtbl.t }
 
@@ -43,20 +78,49 @@ let record h x =
   let cur = Option.value ~default:0 (Hashtbl.find_opt h.table b) in
   Hashtbl.replace h.table b (cur + 1)
 
+(* Every bucket between the observed min and max is emitted, including
+   empty ones, so exported histograms are plot-ready (no gap teeth). *)
 let buckets h =
-  Hashtbl.fold (fun b c acc -> (float_of_int b *. h.bucket_width, c) :: acc)
-    h.table []
-  |> List.sort (fun (a, _) (b, _) -> Float.compare a b)
+  if Hashtbl.length h.table = 0 then []
+  else begin
+    let bmin = Hashtbl.fold (fun b _ acc -> min b acc) h.table max_int in
+    let bmax = Hashtbl.fold (fun b _ acc -> max b acc) h.table min_int in
+    List.init
+      (bmax - bmin + 1)
+      (fun i ->
+        let b = bmin + i in
+        ( float_of_int b *. h.bucket_width,
+          Option.value ~default:0 (Hashtbl.find_opt h.table b) ))
+  end
 
-type busy_tracker = { mutable busy : int }
+(* Disjoint half-open intervals, sorted by start. Overlapping (or
+   adjacent) [mark_busy] calls merge instead of double-counting, so
+   [busy_time] never exceeds the span of wall time actually covered. *)
+type busy_tracker = { mutable intervals : (int * int) list }
 
-let busy_tracker () = { busy = 0 }
+let busy_tracker () = { intervals = [] }
 
 let mark_busy t ~from_ ~until =
   if until < from_ then invalid_arg "Stats.mark_busy: negative interval";
-  t.busy <- t.busy + (until - from_)
+  if until > from_ then begin
+    let lo = ref from_ and hi = ref until in
+    let disjoint =
+      List.filter
+        (fun (a, b) ->
+          if b < !lo || a > !hi then true
+          else begin
+            lo := min !lo a;
+            hi := max !hi b;
+            false
+          end)
+        t.intervals
+    in
+    t.intervals <- List.sort compare ((!lo, !hi) :: disjoint)
+  end
 
-let busy_time t = t.busy
+let busy_time t =
+  List.fold_left (fun acc (a, b) -> acc + (b - a)) 0 t.intervals
 
 let utilization t ~total =
-  if total <= 0 then 0. else float_of_int t.busy /. float_of_int total
+  if total <= 0 then 0.
+  else Float.min 1.0 (float_of_int (busy_time t) /. float_of_int total)

@@ -19,22 +19,39 @@ type series
 
 val series : unit -> series
 val observe : series -> float -> unit
+
+val summarize_opt : series -> summary option
+(** [None] on an empty series — the safe form for call sites that can
+    legitimately observe zero samples (short fault campaigns, idle ports). *)
+
 val summarize : series -> summary
-(** Raises [Failure] on an empty series. *)
+(** Raises [Failure] on an empty series; prefer {!summarize_opt}. *)
+
+val quantile_opt : series -> q:float -> float option
+(** Linear-interpolated quantile of all observed samples ([q] clamped to
+    [0, 1]); [None] on an empty series. Sorts a copy: O(n log n) per call,
+    intended for end-of-run reporting. *)
 
 type histogram
 
 val histogram : bucket_width:float -> histogram
 val record : histogram -> float -> unit
+
 val buckets : histogram -> (float * int) list
-(** Sorted [(bucket_lower_bound, count)] pairs. *)
+(** Sorted [(bucket_lower_bound, count)] pairs covering the full observed
+    range — interior buckets with zero hits are included so exported
+    histograms are plot-ready. *)
 
 type busy_tracker
 
 val busy_tracker : unit -> busy_tracker
+
 val mark_busy : busy_tracker -> from_:int -> until:int -> unit
-(** Accumulate a busy interval [from_, until). Overlapping intervals are the
-    caller's responsibility to avoid (each resource tracks itself). *)
+(** Accumulate a busy interval [from_, until). Overlapping or duplicate
+    intervals merge rather than double-count. *)
 
 val busy_time : busy_tracker -> int
+(** Total covered time: the measure of the union of all marked intervals. *)
+
 val utilization : busy_tracker -> total:int -> float
+(** [busy_time / total], clamped to [0, 1]. *)

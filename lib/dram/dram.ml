@@ -67,7 +67,9 @@ type t = {
   mutable bytes_written : int;
   mutable row_hits : int;
   mutable row_misses : int;
+  mutable bank_conflicts : int; (* command stalled on a busy bank *)
   mutable first_traffic_at : int option;
+  mutable tracer : Trace.t option;
   mutable last_traffic_at : int;
   (* fired at each device burst's data completion time, before the
      requester's [on_chunk] — the ECC / fault-injection tap point *)
@@ -91,13 +93,16 @@ let create engine cfg =
     bytes_written = 0;
     row_hits = 0;
     row_misses = 0;
+    bank_conflicts = 0;
     first_traffic_at = None;
+    tracer = None;
     last_traffic_at = 0;
     burst_hook = None;
   }
 
 let config t = t.cfg
 let set_burst_hook t f = t.burst_hook <- Some f
+let set_tracer t tr = t.tracer <- Some tr
 
 (* Address mapping: burst | channel | bank | row. Interleaving channels and
    banks at burst granularity spreads streams for parallelism, like the
@@ -129,6 +134,7 @@ let schedule_burst t ~addr ~dir =
       ch.next_refresh_at <- ch.next_refresh_at + ck cfg.trefi;
       Array.iter (fun b -> b.open_row <- -1) ch.banks
     done;
+  if bank.ready_at > now then t.bank_conflicts <- t.bank_conflicts + 1;
   let t_cmd = max now bank.ready_at in
   let t_col_ready =
     if bank.open_row = row then begin
@@ -172,10 +178,13 @@ let schedule_burst t ~addr ~dir =
   if data_end > t.last_traffic_at then t.last_traffic_at <- data_end;
   data_end
 
-let submit t ~addr ~bytes ~dir ?on_chunk ~on_complete () =
+let submit t ~addr ~bytes ~dir ?on_chunk ~on_complete ?span () =
   if bytes <= 0 then invalid_arg "Dram.submit: bytes must be positive";
   let chunk_size = Config.burst_bytes t.cfg in
   let n_chunks = ((bytes - 1) / chunk_size) + 1 in
+  let hits0 = t.row_hits
+  and misses0 = t.row_misses
+  and conflicts0 = t.bank_conflicts in
   (* Bursts of one request target sequential addresses; schedule them all
      now — the per-channel bus and per-bank state serialize them in time.
      Within a request, completions are forced monotone so [on_chunk] fires
@@ -191,12 +200,37 @@ let submit t ~addr ~bytes ~dir ?on_chunk ~on_complete () =
         | None -> ());
         (match on_chunk with Some f -> f ~chunk | None -> ());
         if chunk = n_chunks - 1 then on_complete ())
-  done
+  done;
+  (* All bank/bus timing resolved synchronously above, so the trace span
+     for the whole request can be recorded here with its final end time
+     and the row-hit/miss/conflict deltas it produced. *)
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      let now = Desim.Engine.now t.engine in
+      let dir_s = match dir with Read -> "rd" | Write -> "wr" in
+      let sp =
+        Trace.begin_span tr ~now ?parent:span ~track:"dram" ~cat:"dram"
+          ~name:(Printf.sprintf "%s 0x%x %dB" dir_s addr bytes)
+          ()
+      in
+      let hits = t.row_hits - hits0
+      and misses = t.row_misses - misses0
+      and conflicts = t.bank_conflicts - conflicts0 in
+      Trace.add_arg tr sp "row_hits" (Trace.Int hits);
+      Trace.add_arg tr sp "row_misses" (Trace.Int misses);
+      if conflicts > 0 then
+        Trace.add_arg tr sp "bank_conflicts" (Trace.Int conflicts);
+      Trace.add tr "dram.row_hits" hits;
+      Trace.add tr "dram.row_misses" misses;
+      Trace.add tr "dram.bank_conflicts" conflicts;
+      Trace.end_span tr ~now:!last_end sp
 
 let bytes_read t = t.bytes_read
 let bytes_written t = t.bytes_written
 let row_hits t = t.row_hits
 let row_misses t = t.row_misses
+let bank_conflicts t = t.bank_conflicts
 
 let achieved_bandwidth_gbs t =
   match t.first_traffic_at with

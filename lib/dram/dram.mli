@@ -51,6 +51,13 @@ val set_burst_hook : t -> (addr:int -> bytes:int -> dir:dir -> unit) -> unit
     DRAM bit errors and the SECDED scrub-on-read path without coupling
     the timing model to data contents. *)
 
+val set_tracer : t -> Trace.t -> unit
+(** Attach a structured tracer: every {!submit} records a ["dram"] span
+    (parented on the submitting AXI burst's span when given) annotated
+    with the row-hit/miss and bank-conflict deltas it produced, and bumps
+    the [dram.row_hits]/[dram.row_misses]/[dram.bank_conflicts] registry
+    counters. *)
+
 val submit :
   t ->
   addr:int ->
@@ -58,12 +65,14 @@ val submit :
   dir:dir ->
   ?on_chunk:(chunk:int -> unit) ->
   on_complete:(unit -> unit) ->
+  ?span:int ->
   unit ->
   unit
 (** Issue a request. [on_chunk] fires as each device burst's data completes
     on the bus (chunk 0, 1, …, in order within the request); [on_complete]
     fires with the last chunk. For reads, a chunk completion is the time its
-    data has been returned; for writes, the time it has been accepted. *)
+    data has been returned; for writes, the time it has been accepted.
+    [span] is the parent trace span (see {!set_tracer}). *)
 
 (** {1 Statistics} *)
 
@@ -71,6 +80,9 @@ val bytes_read : t -> int
 val bytes_written : t -> int
 val row_hits : t -> int
 val row_misses : t -> int
+
+val bank_conflicts : t -> int
+(** Bursts whose column command stalled behind a busy bank. *)
 
 val achieved_bandwidth_gbs : t -> float
 (** Total traffic divided by elapsed simulation time. *)

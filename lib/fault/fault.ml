@@ -342,6 +342,7 @@ module Injector = struct
     n_unrecovered : int array;
     mutable n_quarantines : int;
     mutable log_rev : Log.entry list;
+    mutable n_logged : int; (* = List.length log_rev; ids are indices *)
     (* lost-message faults pending resolution, by routing key *)
     lost : (int, (Class.t * string) list) Hashtbl.t;
     mutable hang_seen : int; (* commands dispatched to the hang victim *)
@@ -367,6 +368,7 @@ module Injector = struct
       n_unrecovered = Array.make Class.count 0;
       n_quarantines = 0;
       log_rev = [];
+      n_logged = 0;
       lost = Hashtbl.create 8;
       hang_seen = 0;
       hang_fired = false;
@@ -407,7 +409,13 @@ module Injector = struct
         t.n_recovered.(i) <- t.n_recovered.(i) + 1
     | Log.Unrecovered -> t.n_unrecovered.(i) <- t.n_unrecovered.(i) + 1
     | Log.Quarantined -> t.n_quarantines <- t.n_quarantines + 1);
-    t.log_rev <- { Log.time = now; cls; kind; site } :: t.log_rev
+    t.log_rev <- { Log.time = now; cls; kind; site } :: t.log_rev;
+    t.n_logged <- t.n_logged + 1
+
+  (* Ledger id of the most recent entry: its index in [entries] order.
+     Trace spans record this to cross-reference the fault that explains a
+     retry or quarantine. -1 before anything is logged. *)
+  let last_id t = t.n_logged - 1
 
   let note_lost t ~now ~cls ~key ~site =
     log t ~now ~cls ~kind:Log.Injected ~site;

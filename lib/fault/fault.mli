@@ -184,6 +184,13 @@ module Injector : sig
   (** {2 Accounting} *)
 
   val log : t -> now:int -> cls:Class.t -> kind:Log.kind -> site:string -> unit
+
+  val last_id : t -> int
+  (** Ledger id of the most recently logged entry — its index in
+      {!entries} order, [-1] before anything is logged. Trace spans
+      record this to cross-reference the fault behind a retry, error
+      response, or quarantine. *)
+
   val note_lost : t -> now:int -> cls:Class.t -> key:int -> site:string -> unit
   (** Record an injected lost-message fault (dropped command/response,
       hung core) pending against routing key [key] — resolved when the

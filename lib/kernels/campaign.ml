@@ -57,12 +57,13 @@ let fill_pattern buf ~seed ~iter =
   done
 
 let run ?(bytes = 64 * 1024) ?(iters = 4) ?(n_cores = 2)
-    ?(policy = Fault.Policy.default) ~plan ~platform () =
+    ?(policy = Fault.Policy.default) ?tracer ~plan ~platform () =
   if bytes mod 8 <> 0 then invalid_arg "Campaign.run: bytes must be 8-aligned";
   let inj = Fault.Injector.create plan in
   let design = B.Elaborate.elaborate (config ~n_cores) platform in
   let soc =
-    Soc.create ~fault:inj ~policy design ~behaviors:(fun _ -> Memcpy.behavior)
+    Soc.create ?tracer ~fault:inj ~policy design
+      ~behaviors:(fun _ -> Memcpy.behavior)
   in
   let h = H.create ~poison_freed:true soc in
   let engine = Soc.engine soc in

@@ -39,6 +39,7 @@ val run :
   ?iters:int ->
   ?n_cores:int ->
   ?policy:Fault.Policy.t ->
+  ?tracer:Trace.t ->
   plan:Fault.Plan.t ->
   platform:Platform.Device.t ->
   unit ->
@@ -46,7 +47,10 @@ val run :
 (** Run [iters] (default 4) round-trips of [bytes] (default 64 KB) under
     [plan]. Never hangs: the driver runs under a hard event budget and
     the queue is drained (with {!Desim.Engine.drain_or_fail}) before the
-    result is assembled. *)
+    result is assembled. [tracer] records the whole campaign as spans;
+    note at-least-once delivery means duplicate responses can outlive
+    their root command span, so validate such traces with
+    [Trace.check ~strict:false]. *)
 
 val clean : result -> bool
 (** No unrecovered faults, nothing pending, data verified — what the

@@ -80,15 +80,23 @@ type result = {
   verified : bool;
 }
 
-let run ?trace ~impl ~bytes ~platform () =
+let run ?trace ?tracer ?seed ~impl ~bytes ~platform () =
   let design = B.Elaborate.elaborate (config impl) platform in
-  let soc = Soc.create ?trace design ~behaviors:(fun _ -> behavior) in
+  let soc = Soc.create ?trace ?tracer design ~behaviors:(fun _ -> behavior) in
   let handle = Runtime.Handle.create soc in
   let src = 1 lsl 20 and dst = 1 lsl 22 in
-  for i = 0 to (bytes / 4) - 1 do
-    Soc.write_u32 soc (src + (i * 4))
-      (Int32.of_int ((i * 2654435761) land 0x3FFFFFFF))
-  done;
+  (match seed with
+  | None ->
+      for i = 0 to (bytes / 4) - 1 do
+        Soc.write_u32 soc (src + (i * 4))
+          (Int32.of_int ((i * 2654435761) land 0x3FFFFFFF))
+      done
+  | Some seed ->
+      (* seeded fill: same seed, same source image, byte for byte *)
+      let rng = Fault.Rng.create ~seed:(Int64.of_int seed) in
+      for i = 0 to (bytes / 8) - 1 do
+        Soc.write_u64 soc (src + (i * 8)) (Fault.Rng.next rng)
+      done);
   let h =
     Runtime.Handle.send handle ~system:"Memcpy" ~core:0 ~cmd:command
       ~args:

@@ -32,6 +32,8 @@ type result = {
 
 val run :
   ?trace:Axi.Trace.t ->
+  ?tracer:Trace.t ->
+  ?seed:int ->
   impl:impl ->
   bytes:int ->
   platform:Platform.Device.t ->
@@ -39,7 +41,11 @@ val run :
   result
 (** Copy [bytes] (device-resident) and verify contents. Wall time excludes
     host DMA and runtime overhead so the figure isolates the memory path,
-    as the paper's microbenchmark does. *)
+    as the paper's microbenchmark does. [tracer] threads the structured
+    tracer through the whole stack (see {!Beethoven.Soc.create}); [seed]
+    selects a deterministic PRNG source fill so two runs with the same
+    seed are byte-identical (the default fill is a fixed multiplicative
+    pattern, also deterministic). *)
 
 val burst_beats : impl -> int
 

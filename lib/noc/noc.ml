@@ -132,19 +132,55 @@ let describe t =
 
 type delivery = Delivered | Dropped | Delayed of int
 
-let send t engine ~ep_id ?(payload_beats = 1) ?fault k =
+(* The hop's arrival time is known synchronously, so the trace span is
+   opened and closed here; drops become instants (no arrival exists). *)
+let trace_hop t ?tracer ?(label = "noc") ?span ~engine ~ep_id ~now ~arrival
+    delivery =
+  match tracer with
+  | None -> ()
+  | Some tr ->
+      ignore engine;
+      let track = "noc " ^ label in
+      (match delivery with
+      | Dropped ->
+          Trace.instant tr ~now ?parent:span ~track ~cat:"noc"
+            ~name:(Printf.sprintf "drop ep%d" ep_id)
+            ()
+      | Delivered | Delayed _ ->
+          let sp =
+            Trace.begin_span tr ~now ?parent:span ~track ~cat:"noc"
+              ~name:(Printf.sprintf "hop ep%d" ep_id)
+              ()
+          in
+          (match delivery with
+          | Delayed extra -> Trace.add_arg tr sp "delay_ps" (Trace.Int extra)
+          | _ -> ());
+          Trace.end_span tr ~now:arrival sp;
+          let lat = float_of_int (arrival - now) in
+          Trace.observe tr (Printf.sprintf "noc.%s.hop_ps" label) lat;
+          Trace.observe_hist tr
+            (Printf.sprintf "noc.%s.hop_ps" label)
+            ~bucket_width:(float_of_int t.prm.Params.clock_ps)
+            lat)
+
+let send t engine ~ep_id ?(payload_beats = 1) ?tracer ?label ?span ?fault k =
   if payload_beats < 1 then invalid_arg "Noc.send: payload_beats";
   t.messages <- t.messages + 1;
   let cycles = latency_cycles t ~ep_id + (payload_beats - 1) in
   let base = cycles * t.prm.Params.clock_ps in
+  let now = Desim.Engine.now engine in
   match fault with
   | None ->
       Desim.Engine.schedule engine ~delay:base k;
+      trace_hop t ?tracer ?label ?span ~engine ~ep_id ~now
+        ~arrival:(now + base) Delivered;
       Delivered
   | Some (inj, drop_cls) ->
       if Fault.Injector.decide inj drop_cls then begin
         (* the message vanishes in the fabric: the callback never fires *)
         t.drops <- t.drops + 1;
+        trace_hop t ?tracer ?label ?span ~engine ~ep_id ~now ~arrival:now
+          Dropped;
         Dropped
       end
       else begin
@@ -153,7 +189,6 @@ let send t engine ~ep_id ?(payload_beats = 1) ?fault k =
             Fault.Injector.draw_delay_ps inj
           else 0
         in
-        let now = Desim.Engine.now engine in
         let arrival = now + base + extra in
         let floor =
           Option.value ~default:0 (Hashtbl.find_opt t.arrival_floor ep_id)
@@ -163,11 +198,15 @@ let send t engine ~ep_id ?(payload_beats = 1) ?fault k =
         let arrival = max arrival floor in
         Hashtbl.replace t.arrival_floor ep_id arrival;
         Desim.Engine.schedule_at engine ~time:arrival k;
-        if extra > 0 then begin
-          t.delays <- t.delays + 1;
-          Delayed extra
-        end
-        else Delivered
+        let delivery =
+          if extra > 0 then begin
+            t.delays <- t.delays + 1;
+            Delayed extra
+          end
+          else Delivered
+        in
+        trace_hop t ?tracer ?label ?span ~engine ~ep_id ~now ~arrival delivery;
+        delivery
       end
 
 let messages_sent t = t.messages

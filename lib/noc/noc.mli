@@ -55,6 +55,7 @@ type delivery =
 
 val send :
   t -> Desim.Engine.t -> ep_id:int -> ?payload_beats:int ->
+  ?tracer:Trace.t -> ?label:string -> ?span:int ->
   ?fault:Fault.Injector.t * Fault.Class.t ->
   (unit -> unit) -> delivery
 (** Deliver a message from the root to [ep_id] (or vice versa — the tree is
@@ -63,7 +64,11 @@ val send :
     (using the given drop class — the callback then never fires, and the
     caller is told via [Dropped] so it can account for the loss) or delay
     it by a bounded random amount. Delayed messages never overtake earlier
-    ones to the same endpoint: the tree preserves per-route ordering. *)
+    ones to the same endpoint: the tree preserves per-route ordering.
+
+    With [tracer], the hop records a span from send to arrival (parented
+    on [span], lane ["noc <label>"]) and feeds the per-label hop-latency
+    series and histogram; drops become instants. *)
 
 val messages_sent : t -> int
 val messages_dropped : t -> int

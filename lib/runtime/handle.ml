@@ -80,15 +80,28 @@ let create ?(server_op_ps = 1_500_000) ?(poison_freed = false) soc =
 
 let soc t = t.soc
 let engine t = t.engine
+let tracer t = Soc.tracer t.soc
 
 (* One runtime-server operation: waits for the server lock, holds it for
-   the service time, then continues. *)
-let server_op t k =
+   the service time, then continues. Start and finish are known at issue
+   time, so the trace span is recorded synchronously. *)
+let server_op ?span ?(op = "op") t k =
   let now = Desim.Engine.now t.engine in
   let start = max now t.server_free_at in
   let finish = start + t.server_op_ps in
   t.server_free_at <- finish;
   t.server_busy_ps <- t.server_busy_ps + t.server_op_ps;
+  (match tracer t with
+  | None -> ()
+  | Some tr ->
+      let sp =
+        Trace.begin_span tr ~now:start ?parent:span ~track:"runtime server"
+          ~cat:"server" ~name:op ()
+      in
+      if start > now then
+        Trace.add_arg tr sp "lock_wait_ps" (Trace.Int (start - now));
+      Trace.end_span tr ~now:finish sp;
+      Trace.add tr "server.busy_ps" t.server_op_ps);
   Desim.Engine.schedule_at t.engine ~time:finish k
 
 let malloc t n =
@@ -169,6 +182,24 @@ let dma_ps t bytes =
 let dma_op t ~bytes ~site ~work ~on_done =
   let inj = Soc.fault_injector t.soc in
   let policy = Soc.policy t.soc in
+  (* each DMA transfer is its own top-level transaction in the trace *)
+  let span, on_done =
+    match tracer t with
+    | None -> (None, on_done)
+    | Some tr ->
+        let now = Desim.Engine.now t.engine in
+        let txn = Trace.fresh_txn tr in
+        let sp =
+          Trace.begin_span tr ~now ~txn ~track:"runtime" ~cat:"dma" ~name:site
+            ()
+        in
+        Trace.add_arg tr sp "bytes" (Trace.Int bytes);
+        ( Some sp,
+          fun () ->
+            Trace.end_span tr ~now:(Desim.Engine.now t.engine) sp;
+            Trace.add tr "dma.bytes" bytes;
+            on_done () )
+  in
   let rec go attempt =
     Desim.Engine.schedule t.engine ~delay:(dma_ps t bytes) (fun () ->
         let now = Desim.Engine.now t.engine in
@@ -177,6 +208,12 @@ let dma_op t ~bytes ~site ~work ~on_done =
           | Some i when Fault.Injector.decide i Fault.Class.Dma_fail ->
               Fault.Injector.log i ~now ~cls:Fault.Class.Dma_fail
                 ~kind:Fault.Log.Injected ~site;
+              (match (tracer t, span) with
+              | Some tr, Some sp ->
+                  Trace.add_arg tr sp
+                    (Printf.sprintf "fault_id[%d]" attempt)
+                    (Trace.Int (Fault.Injector.last_id i))
+              | _ -> ());
               true
           | _ -> false
         in
@@ -203,6 +240,10 @@ let dma_op t ~bytes ~site ~work ~on_done =
                   ~kind:Fault.Log.Unrecovered ~site
               done
           | None -> ());
+          (match (tracer t, span) with
+          | Some tr, Some sp ->
+              Trace.add_arg tr sp "abandoned" (Trace.Int 1)
+          | _ -> ());
           on_done ()
         end)
   in
@@ -234,17 +275,17 @@ let resolve handle v =
     List.iter (fun w -> w v) ws
   end
 
-let send_raw t cmd =
+let send_raw ?span t cmd =
   let handle = { result = None; failed = None; waiters = [] } in
   t.commands_sent <- t.commands_sent + 1;
   Log.debug (fun f ->
       f "send sys=%d core=%d funct=%d" cmd.Rocc.system_id cmd.Rocc.core_id
         cmd.Rocc.funct);
-  server_op t (fun () ->
-      Soc.send_command t.soc cmd ~on_response:(fun resp ->
+  server_op ?span ~op:"submit" t (fun () ->
+      Soc.send_command ?span t.soc cmd ~on_response:(fun resp ->
           (* the server polls the MMIO response queue; collection is
              another serialized server operation *)
-          server_op t (fun () ->
+          server_op ?span ~op:"collect" t (fun () ->
               t.responses_received <- t.responses_received + 1;
               resolve handle resp.Rocc.resp_data)));
   handle
@@ -267,11 +308,48 @@ let send t ~system ~core ~cmd ~args =
   let pairs = Cmd_spec.pack cmd args in
   let n = List.length pairs in
   let sys_id = system_index t system in
+  (* Root span for the whole host-visible command: a fresh transaction id
+     that every downstream span (server ops, NoC hops, core execution,
+     AXI bursts, DRAM activity) inherits through span parenting. *)
+  let root =
+    match tracer t with
+    | None -> None
+    | Some tr ->
+        let now = Desim.Engine.now t.engine in
+        let txn = Trace.fresh_txn tr in
+        let sp =
+          Trace.begin_span tr ~now ~txn ~track:"runtime" ~cat:"command"
+            ~name:(Printf.sprintf "%s %s/%d" cmd.Cmd_spec.cmd_name system core)
+            ()
+        in
+        Trace.add_arg tr sp "beats" (Trace.Int n);
+        Some (tr, sp)
+  in
+  let span = Option.map snd root in
+  let finish_root () =
+    match root with
+    | None -> ()
+    | Some (tr, sp) -> Trace.end_span tr ~now:(Desim.Engine.now t.engine) sp
+  in
+  (* Close the root span when the logical response resolves; response-less
+     commands close it at submission (there is nothing to await). *)
+  let watch h =
+    (match root with
+    | None -> ()
+    | Some _ ->
+        if not cmd.Cmd_spec.has_response then finish_root ()
+        else begin
+          match h.result with
+          | Some _ -> finish_root ()
+          | None -> h.waiters <- (fun _ -> finish_root ()) :: h.waiters
+        end);
+    h
+  in
   let submit target_core =
     let handles =
       List.mapi
         (fun i (p1, p2) ->
-          send_raw t
+          send_raw ?span t
             {
               Rocc.system_id = sys_id;
               core_id = target_core;
@@ -286,10 +364,10 @@ let send t ~system ~core ~cmd ~args =
     List.nth handles (n - 1)
   in
   match Soc.fault_injector t.soc with
-  | None -> submit core
+  | None -> watch (submit core)
   | Some _ when not cmd.Cmd_spec.has_response ->
       (* nothing to watch: a response-less command cannot be timed out *)
-      submit core
+      watch (submit core)
   | Some inj ->
       (* Watchdog: if the response misses its deadline, resend (doubling
          the deadline); after [cmd_max_retries] resends quarantine the
@@ -334,6 +412,16 @@ let send t ~system ~core ~cmd ~args =
         Desim.Engine.schedule t.engine ~delay:timeout_ps (fun () ->
             if outer.result = None && h.result = None then begin
               t.command_timeouts <- t.command_timeouts + 1;
+              (match root with
+              | Some (tr, sp) ->
+                  Trace.instant tr
+                    ~now:(Desim.Engine.now t.engine)
+                    ~parent:sp ~track:"runtime" ~cat:"fault"
+                    ~name:
+                      (Printf.sprintf "timeout sys=%d core=%d try=%d" sys_id
+                         target_core tries)
+                    ()
+              | None -> ());
               if tries < policy.Fault.Policy.cmd_max_retries then begin
                 t.command_retries <- t.command_retries + 1;
                 Log.debug (fun f ->
@@ -356,6 +444,12 @@ let send t ~system ~core ~cmd ~args =
                             ~core_id:target_core
                         then " (injected hang)"
                         else ""));
+                (match root with
+                | Some (tr, sp) ->
+                    Trace.add_arg tr sp
+                      (Printf.sprintf "quarantine[%d/%d]" sys_id target_core)
+                      (Trace.Int (Fault.Injector.last_id inj))
+                | None -> ());
                 match next_core target_core with
                 | Some c ->
                     t.command_retries <- t.command_retries + 1;
@@ -370,7 +464,12 @@ let send t ~system ~core ~cmd ~args =
                     outer.failed <-
                       Some
                         (Printf.sprintf "system %s: all cores quarantined"
-                           system)
+                           system);
+                    (match root with
+                    | Some (tr, sp) ->
+                        Trace.add_arg tr sp "failed" (Trace.Str "quarantined")
+                    | None -> ());
+                    finish_root ()
               end
             end)
       in
@@ -384,8 +483,13 @@ let send t ~system ~core ~cmd ~args =
             ~timeout_ps:policy.Fault.Policy.cmd_timeout_ps
       | None ->
           outer.failed <-
-            Some (Printf.sprintf "system %s: all cores quarantined" system));
-      outer
+            Some (Printf.sprintf "system %s: all cores quarantined" system);
+          (match root with
+          | Some (tr, sp) ->
+              Trace.add_arg tr sp "failed" (Trace.Str "quarantined")
+          | None -> ());
+          finish_root ());
+      watch outer
 
 let try_get h = h.result
 

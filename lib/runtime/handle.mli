@@ -29,6 +29,15 @@ val create : ?server_op_ps:int -> ?poison_freed:bool -> Beethoven.Soc.t -> t
 val soc : t -> Beethoven.Soc.t
 val engine : t -> Desim.Engine.t
 
+val tracer : t -> Trace.t option
+(** The SoC's structured tracer, if one was given to
+    {!Beethoven.Soc.create}. When present, every {!send} mints a fresh
+    transaction id and records a root ["command"] span that the server
+    ops, NoC hops, core execution, and memory-system spans parent under;
+    {!copy_to_fpga}/{!copy_from_fpga} record ["dma"] spans under their
+    own transactions. Watchdog timeouts become instants and
+    quarantine/DMA-failure ledger ids are attached as span args. *)
+
 (** {1 Memory} *)
 
 val malloc : t -> int -> remote_ptr
@@ -73,7 +82,9 @@ val send :
     idempotent. With every core of the system quarantined the handle
     fails and {!await} raises. *)
 
-val send_raw : t -> Beethoven.Rocc.t -> response_handle
+val send_raw : ?span:int -> t -> Beethoven.Rocc.t -> response_handle
+(** Submit one raw RoCC beat. [span] is the trace parent for the server
+    operations and the SoC delivery path (see {!tracer}). *)
 
 val try_get : response_handle -> int64 option
 val on_ready : response_handle -> (int64 -> unit) -> unit

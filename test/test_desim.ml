@@ -194,6 +194,58 @@ let test_stats () =
   check_int "busy time" 15 (S.busy_time b);
   Alcotest.(check (float 1e-9)) "utilization" 0.15 (S.utilization b ~total:100)
 
+(* Regression: overlapping busy intervals must merge, not double-count —
+   the old accumulator summed raw durations and could report > 100%
+   utilization for a port marked busy by two overlapping transactions. *)
+let test_busy_overlap () =
+  let b = S.busy_tracker () in
+  S.mark_busy b ~from_:0 ~until:10;
+  S.mark_busy b ~from_:5 ~until:15;
+  check_int "overlap merged" 15 (S.busy_time b);
+  S.mark_busy b ~from_:0 ~until:15;
+  check_int "duplicate absorbed" 15 (S.busy_time b);
+  S.mark_busy b ~from_:15 ~until:20;
+  check_int "adjacent coalesced" 20 (S.busy_time b);
+  S.mark_busy b ~from_:100 ~until:110;
+  S.mark_busy b ~from_:30 ~until:40;
+  check_int "disjoint summed" 40 (S.busy_time b);
+  S.mark_busy b ~from_:0 ~until:110;
+  check_int "superset absorbs all" 110 (S.busy_time b);
+  Alcotest.(check (float 1e-9))
+    "utilization clamped" 1.0
+    (S.utilization b ~total:50)
+
+let test_summarize_opt () =
+  let s = S.series () in
+  Alcotest.(check bool) "empty is None" true (S.summarize_opt s = None);
+  (match S.summarize s with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "summarize of empty series must raise");
+  S.observe s 7.0;
+  (match S.summarize_opt s with
+  | Some sum ->
+      check_int "n" 1 sum.S.n;
+      Alcotest.(check (float 1e-9)) "mean" 7.0 sum.S.mean
+  | None -> Alcotest.fail "non-empty series must summarize")
+
+let test_bucket_gaps () =
+  let h = S.histogram ~bucket_width:10. in
+  List.iter (S.record h) [ 1.; 35. ];
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "interior zero buckets present"
+    [ (0., 1); (10., 0); (20., 0); (30., 1) ]
+    (S.buckets h)
+
+let test_quantiles () =
+  let s = S.series () in
+  Alcotest.(check bool) "empty quantile" true (S.quantile_opt s ~q:0.5 = None);
+  List.iter (S.observe s) [ 4.0; 1.0; 3.0; 2.0 ];
+  let q x = Option.get (S.quantile_opt s ~q:x) in
+  Alcotest.(check (float 1e-9)) "p0 = min" 1.0 (q 0.0);
+  Alcotest.(check (float 1e-9)) "p100 = max" 4.0 (q 1.0);
+  Alcotest.(check (float 1e-9)) "median interpolates" 2.5 (q 0.5);
+  Alcotest.(check (float 1e-9)) "clamped below" 1.0 (q (-1.0))
+
 let prop name arb f =
   QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:100 ~name arb f)
 
@@ -252,6 +304,13 @@ let () =
           Alcotest.test_case "pending recv" `Quick test_channel_pending_recv;
           Alcotest.test_case "try ops" `Quick test_channel_try_ops;
         ] );
-      ("stats", [ Alcotest.test_case "stats" `Quick test_stats ]);
+      ( "stats",
+        [
+          Alcotest.test_case "stats" `Quick test_stats;
+          Alcotest.test_case "busy overlap" `Quick test_busy_overlap;
+          Alcotest.test_case "summarize_opt" `Quick test_summarize_opt;
+          Alcotest.test_case "bucket gaps" `Quick test_bucket_gaps;
+          Alcotest.test_case "quantiles" `Quick test_quantiles;
+        ] );
       ("properties", props);
     ]

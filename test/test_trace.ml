@@ -1,0 +1,225 @@
+(* The lib/trace observability subsystem: span-tree well-formedness, the
+   counter registry, sink content, cross-layer transaction correlation on
+   a traced memcpy, and byte-identical determinism across same-seed runs. *)
+
+module D = Platform.Device
+module T = Trace
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* naive substring test — enough for sink-content checks *)
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let f1_one_channel = { D.aws_f1 with D.dram = Dram.Config.ddr4_2400 }
+
+let traced_memcpy ?(seed = 11) ?(bytes = 16 * 1024) () =
+  let tracer = T.create () in
+  let r =
+    Kernels.Memcpy.run ~tracer ~seed ~impl:Kernels.Memcpy.Beethoven ~bytes
+      ~platform:f1_one_channel ()
+  in
+  (tracer, r)
+
+(* ---- span model ---- *)
+
+let test_span_basics () =
+  let t = T.create () in
+  let root = T.begin_span t ~now:0 ~txn:(T.fresh_txn t) ~track:"a" ~cat:"c"
+      ~name:"root" () in
+  let child = T.begin_span t ~now:5 ~parent:root ~track:"b" ~cat:"c"
+      ~name:"child" () in
+  T.end_span t ~now:8 child;
+  T.end_span t ~now:10 root;
+  Alcotest.(check (list string)) "clean tree" [] (T.check t);
+  check_int "spans" 2 (T.span_count t);
+  check_int "txns" 1 (T.txn_count t);
+  (* closing again (or an unknown id) is ignored, not an error *)
+  T.end_span t ~now:99 child;
+  T.end_span t ~now:99 12345;
+  Alcotest.(check (list string)) "still clean" [] (T.check t)
+
+let test_check_catches_malformed () =
+  let unclosed = T.create () in
+  ignore (T.begin_span unclosed ~now:0 ~track:"a" ~cat:"c" ~name:"x" ());
+  check_bool "unclosed span reported" true (T.check unclosed <> []);
+  let backwards = T.create () in
+  let sp = T.begin_span backwards ~now:10 ~track:"a" ~cat:"c" ~name:"x" () in
+  T.end_span backwards ~now:5 sp;
+  check_bool "stop < start reported" true (T.check backwards <> []);
+  let escapee = T.create () in
+  let p = T.begin_span escapee ~now:0 ~track:"a" ~cat:"c" ~name:"p" () in
+  T.end_span escapee ~now:10 p;
+  let c = T.begin_span escapee ~now:20 ~parent:p ~track:"a" ~cat:"c"
+      ~name:"c" () in
+  T.end_span escapee ~now:25 c;
+  check_bool "child starting after parent end reported" true
+    (T.check escapee <> []);
+  (* a child merely *ending* after its parent is only a strict-mode error
+     (fault campaigns: a duplicate response outlives the resolved root) *)
+  let overhang = T.create () in
+  let p = T.begin_span overhang ~now:0 ~track:"a" ~cat:"c" ~name:"p" () in
+  let c = T.begin_span overhang ~now:5 ~parent:p ~track:"a" ~cat:"c"
+      ~name:"c" () in
+  T.end_span overhang ~now:10 p;
+  T.end_span overhang ~now:15 c;
+  check_bool "overhang flagged strictly" true
+    (T.check ~strict:true overhang <> []);
+  Alcotest.(check (list string)) "overhang tolerated loosely" []
+    (T.check ~strict:false overhang)
+
+let test_txn_inheritance () =
+  let t = T.create () in
+  let txn = T.fresh_txn t in
+  let root = T.begin_span t ~now:0 ~txn ~track:"a" ~cat:"c" ~name:"r" () in
+  let child = T.begin_span t ~now:1 ~parent:root ~track:"b" ~cat:"c"
+      ~name:"k" () in
+  let grandchild = T.begin_span t ~now:2 ~parent:child ~track:"b" ~cat:"c"
+      ~name:"g" () in
+  T.end_span t ~now:3 grandchild;
+  T.end_span t ~now:4 child;
+  T.end_span t ~now:5 root;
+  (* inheritance is observable through the chrome sink's txn args *)
+  let json = T.to_chrome_json t in
+  let lines = String.split_on_char '\n' json in
+  let spans_with_txn =
+    List.length
+      (List.filter
+         (fun l ->
+           contains l "\"ph\":\"X\""
+           && contains l (Printf.sprintf "\"txn\":%d" txn))
+         lines)
+  in
+  check_int "all three spans share the minted txn" 3 spans_with_txn
+
+(* ---- registry ---- *)
+
+let test_registry () =
+  let t = T.create () in
+  check_int "virgin counter" 0 (T.counter_value t "x");
+  T.add t "x" 3;
+  T.add t "x" 4;
+  check_int "accumulates" 7 (T.counter_value t "x");
+  T.sample t ~now:0 "q" 1;
+  T.sample t ~now:10 "q" 3;
+  List.iter (T.observe t "lat") [ 10.; 20.; 30.; 40. ];
+  (match T.series_quantiles t "lat" with
+  | Some (p50, p95, p99) ->
+      check_bool "p50 sane" true (p50 >= 10. && p50 <= 40.);
+      check_bool "quantiles ordered" true (p50 <= p95 && p95 <= p99)
+  | None -> Alcotest.fail "series should exist");
+  check_bool "absent series" true (T.series_quantiles t "nope" = None)
+
+(* ---- full-stack memcpy trace ---- *)
+
+let test_memcpy_trace_clean () =
+  let tracer, r = traced_memcpy () in
+  check_bool "memcpy verified" true r.Kernels.Memcpy.verified;
+  Alcotest.(check (list string))
+    "well-formed even strictly" [] (T.check ~strict:true tracer);
+  check_bool "spans recorded" true (T.span_count tracer > 0);
+  check_int "exactly one host transaction" 1 (T.txn_count tracer);
+  check_bool "read traffic counted" true
+    (T.counter_value tracer "ddr0.read_bytes" >= 16 * 1024);
+  check_bool "core busy time counted" true
+    (T.counter_value tracer "core Memcpy/0.busy_ps" > 0)
+
+let test_memcpy_txn_correlation () =
+  let tracer, _ = traced_memcpy () in
+  let json = T.to_chrome_json tracer in
+  let lines = String.split_on_char '\n' json in
+  (* every layer of the stack must contribute at least one span carrying
+     the single host command's transaction id *)
+  List.iter
+    (fun cat ->
+      check_bool
+        (Printf.sprintf "category %s correlated under txn 0" cat)
+        true
+        (List.exists
+           (fun l ->
+             contains l (Printf.sprintf "\"cat\":\"%s\"" cat)
+             && contains l "\"txn\":0")
+           lines))
+    [ "command"; "server"; "noc"; "exec"; "mem"; "axi"; "dram" ]
+
+let test_sinks_render () =
+  let tracer, _ = traced_memcpy () in
+  let profile = T.profile tracer in
+  List.iter
+    (fun s ->
+      check_bool (Printf.sprintf "profile mentions %S" s) true
+        (contains profile s))
+    [ "kernel profile:"; "ddr0.read_bytes"; "noc.cmd.hop_ps"; "exec" ];
+  let timeline = T.axi_timeline tracer in
+  check_bool "timeline has a read lane" true (contains timeline "ddr0 rd");
+  check_bool "timeline has issue glyphs" true (contains timeline ">");
+  let json = T.to_chrome_json tracer in
+  check_bool "chrome header" true
+    (contains json "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+  check_bool "chrome metadata" true (contains json "thread_name")
+
+(* ---- traced fault campaign ---- *)
+
+let test_traced_campaign () =
+  let tracer = T.create () in
+  let plan = Fault.Plan.default_recoverable ~seed:7 () in
+  let r =
+    Kernels.Campaign.run ~tracer ~plan ~bytes:(16 * 1024) ~iters:2
+      ~platform:f1_one_channel ()
+  in
+  check_bool "campaign clean" true (Kernels.Campaign.clean r);
+  (* at-least-once delivery: duplicate responses may outlive the resolved
+     root span, so only the loose check is guaranteed for campaigns *)
+  Alcotest.(check (list string))
+    "campaign trace well-formed (loose)" []
+    (T.check ~strict:false tracer);
+  check_bool "campaign recorded spans" true (T.span_count tracer > 0)
+
+(* ---- determinism ---- *)
+
+let prop name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count:6 ~name arb f)
+
+let props =
+  [
+    prop "same seed, byte-identical chrome JSON"
+      QCheck.(int_bound 1000)
+      (fun seed ->
+        let run () =
+          let tracer, _ = traced_memcpy ~seed ~bytes:4096 () in
+          T.to_chrome_json tracer
+        in
+        String.equal (run ()) (run ()));
+    prop "traced memcpy span tree is always well-formed"
+      QCheck.(int_bound 1000)
+      (fun seed ->
+        let tracer, r = traced_memcpy ~seed ~bytes:4096 () in
+        r.Kernels.Memcpy.verified && T.check ~strict:true tracer = []);
+  ]
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "basics" `Quick test_span_basics;
+          Alcotest.test_case "malformed trees" `Quick
+            test_check_catches_malformed;
+          Alcotest.test_case "txn inheritance" `Quick test_txn_inheritance;
+        ] );
+      ("registry", [ Alcotest.test_case "registry" `Quick test_registry ]);
+      ( "memcpy",
+        [
+          Alcotest.test_case "clean trace" `Quick test_memcpy_trace_clean;
+          Alcotest.test_case "txn correlation" `Quick
+            test_memcpy_txn_correlation;
+          Alcotest.test_case "sinks" `Quick test_sinks_render;
+        ] );
+      ( "campaign",
+        [ Alcotest.test_case "traced campaign" `Quick test_traced_campaign ]
+      );
+      ("determinism", props);
+    ]
