@@ -390,6 +390,132 @@ let trace_cmd =
       const trace_run $ seed_arg $ bytes_arg $ platform_arg $ format_arg
       $ trace_out_arg)
 
+(* ---- serve subcommand: multi-tenant serving campaign ---- *)
+
+let serve_run seed n_clients n_tenants duration_us policy platform cores batch
+    rate think_us hang =
+  let policy =
+    match Serve.policy_of_name policy with
+    | Some p -> p
+    | None ->
+        Printf.eprintf "unknown policy %S (wfq, fifo)\n" policy;
+        exit 2
+  in
+  let plat =
+    match List.assoc_opt platform platforms with
+    | Some p -> p
+    | None ->
+        Printf.eprintf "unknown platform %S (available: %s)\n" platform
+          (String.concat ", " (List.map fst platforms));
+        exit 2
+  in
+  if n_tenants < 1 || n_clients < 1 || duration_us < 1 then begin
+    Printf.eprintf "serve: tenants, clients and duration must be >= 1\n";
+    exit 2
+  end;
+  (* Alternate open-loop and closed-loop tenants with increasing weights,
+     so the default invocation exercises both client models and the
+     weighted-fair scheduler. *)
+  let tenants =
+    List.init n_tenants (fun i ->
+        let load =
+          if i mod 2 = 0 then Serve.Tenant.Open_loop { rate_rps = rate }
+          else Serve.Tenant.Closed_loop { think_ps = think_us * 1_000_000 }
+        in
+        Serve.Tenant.make
+          ~name:(Printf.sprintf "t%d" i)
+          ~weight:(float_of_int (i + 1))
+          ~clients:n_clients ~load ())
+  in
+  let cfg =
+    Serve.config ~seed ~duration_ps:(duration_us * 1_000_000) ~policy
+      ~n_cores:cores ~batch_max:batch ~tenants ()
+  in
+  let plan =
+    if hang then Some (Fault.Plan.with_hang ~after:1 ~system:0 ~core:0 Fault.Plan.none)
+    else None
+  in
+  let r = Serve.run ?plan ~platform:plat cfg () in
+  (* determinism gate: the same seed must reproduce the same campaign,
+     down to every counter and quantile in the digest *)
+  let r2 = Serve.run ?plan ~platform:plat cfg () in
+  print_string (Serve.render r);
+  Printf.printf "digest: %s\n" (Serve.digest r);
+  let problems = Serve.violations r in
+  List.iter (fun p -> Printf.eprintf "serve: accounting: %s\n" p) problems;
+  let deterministic = String.equal (Serve.digest r) (Serve.digest r2) in
+  if not deterministic then
+    Printf.eprintf "serve: NON-DETERMINISTIC: same seed diverged\n";
+  if problems <> [] || not deterministic then exit 1
+
+let serve_clients_arg =
+  let doc = "Clients per tenant." in
+  Arg.(value & opt int 4 & info [ "clients"; "c" ] ~docv:"N" ~doc)
+
+let serve_tenants_arg =
+  let doc =
+    "Number of tenants (even indices open-loop, odd closed-loop; weight \
+     of tenant $(i,i) is $(i,i)+1)."
+  in
+  Arg.(value & opt int 2 & info [ "tenants"; "t" ] ~docv:"N" ~doc)
+
+let serve_duration_arg =
+  let doc = "Arrival-generation horizon, in simulated microseconds." in
+  Arg.(value & opt int 1000 & info [ "duration" ] ~docv:"US" ~doc)
+
+let serve_policy_arg =
+  let doc = "Dispatch policy: wfq (weighted fair) or fifo." in
+  Arg.(value & opt string "wfq" & info [ "policy" ] ~docv:"NAME" ~doc)
+
+let serve_cores_arg =
+  let doc = "Cores per deployed system." in
+  Arg.(value & opt int 4 & info [ "cores"; "n" ] ~docv:"N" ~doc)
+
+let serve_batch_arg =
+  let doc = "Max commands coalesced per runtime-server occupancy." in
+  Arg.(value & opt int 8 & info [ "batch" ] ~docv:"N" ~doc)
+
+let serve_rate_arg =
+  let doc = "Open-loop arrival rate per client, requests/second." in
+  Arg.(value & opt float 100_000. & info [ "rate" ] ~docv:"RPS" ~doc)
+
+let serve_think_arg =
+  let doc = "Closed-loop think time per client, in microseconds." in
+  Arg.(value & opt int 20 & info [ "think" ] ~docv:"US" ~doc)
+
+let serve_hang_arg =
+  let doc =
+    "Hang core 0 of system 0 at its first command: the dispatcher must \
+     shed around the quarantine without losing a request."
+  in
+  Arg.(value & flag & info [ "hang" ] ~doc)
+
+let serve_cmd =
+  let doc = "run a multi-tenant serving campaign and print the SLO report" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Deploys the memcpy and vecadd systems side by side, generates \
+         deterministic open-loop (Poisson) and closed-loop (think-time) \
+         request streams for each tenant, dispatches them weighted-fair \
+         with per-server-occupancy batching and least-outstanding-work \
+         core sharding, sheds on full queues and passed deadlines, and \
+         prints per-tenant offered vs. achieved throughput with the \
+         queue-wait / service / collect latency breakdown at \
+         p50/p95/p99/p99.9. The campaign is run twice in-process; the \
+         run exits 1 if the two digests differ (determinism) or any \
+         accounting invariant is violated (conservation, allocator \
+         cleanliness, unresolved faults).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const serve_run $ seed_arg $ serve_clients_arg $ serve_tenants_arg
+      $ serve_duration_arg $ serve_policy_arg $ platform_arg $ serve_cores_arg
+      $ serve_batch_arg $ serve_rate_arg $ serve_think_arg $ serve_hang_arg)
+
 let gen_term =
   Term.(const run $ design_arg $ platform_arg $ cores_arg $ emit_arg $ out_arg)
 
@@ -423,6 +549,6 @@ let lint_cmd =
 let cmd =
   let doc = "compose a Beethoven accelerator system and emit its artifacts" in
   let info = Cmd.info "beethoven_gen" ~version:"1.0" ~doc in
-  Cmd.group ~default:gen_term info [ lint_cmd; fault_cmd; trace_cmd ]
+  Cmd.group ~default:gen_term info [ lint_cmd; fault_cmd; trace_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -10,21 +10,7 @@ module Soc = B.Soc
 module H = Runtime.Handle
 
 let config ~n_cores =
-  B.Config.make ~name:"memcpy_campaign"
-    [
-      B.Config.system ~name:"Memcpy" ~n_cores
-        ~read_channels:
-          [
-            B.Config.read_channel ~name:"src" ~data_bytes:64 ~burst_beats:64
-              ~max_in_flight:4 ~use_tlp:true ~buffer_beats:(64 * 4) ();
-          ]
-        ~write_channels:
-          [
-            B.Config.write_channel ~name:"dst" ~data_bytes:64 ~burst_beats:64
-              ~max_in_flight:4 ~use_tlp:true ~buffer_beats:(64 * 4) ();
-          ]
-        ~commands:[ Memcpy.command ] ();
-    ]
+  B.Config.make ~name:"memcpy_campaign" [ Memcpy.system ~n_cores ]
 
 type result = {
   seed : int;

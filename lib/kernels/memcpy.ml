@@ -29,6 +29,24 @@ let command =
       ("bytes", B.Cmd_spec.Uint 32);
     ]
 
+(* The well-tuned memcpy system (64-beat bursts, 4 in flight, TLP), the
+   shape every full-host-path campaign and the serving layer deploy. *)
+let system ~n_cores =
+  B.Config.system ~name:"Memcpy" ~n_cores
+    ~read_channels:
+      [
+        B.Config.read_channel ~name:"src" ~data_bytes:64 ~burst_beats:64
+          ~max_in_flight:4 ~use_tlp:true ~buffer_beats:(64 * 4) ();
+      ]
+    ~write_channels:
+      [
+        B.Config.write_channel ~name:"dst" ~data_bytes:64 ~burst_beats:64
+          ~max_in_flight:4 ~use_tlp:true ~buffer_beats:(64 * 4) ();
+      ]
+    ~commands:[ command ]
+    ~kernel_resources:(Platform.Resources.make ~clb:60 ~lut:250 ~ff:300 ())
+    ()
+
 let config impl =
   let beats, in_flight, tlp = tuning impl in
   B.Config.make ~name:("memcpy_" ^ impl_name impl)

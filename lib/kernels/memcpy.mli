@@ -23,6 +23,11 @@ val command : Beethoven.Cmd_spec.command
 val config : impl -> Beethoven.Config.t
 val behavior : Beethoven.Soc.behavior
 
+val system : n_cores:int -> Beethoven.Config.system
+(** The well-tuned [Beethoven] memcpy system at a chosen core count — the
+    building block the fault campaign and the serving layer compose into
+    their SoCs (possibly next to other systems). *)
+
 type result = {
   bytes : int;
   wall_ps : int;  (** command arrival at core → final write response *)

@@ -10,19 +10,17 @@ let command =
       ("n_eles", B.Cmd_spec.Uint 20);
     ]
 
+let system ~n_cores =
+  B.Config.system ~name:"VecAdd" ~n_cores
+    ~read_channels:[ B.Config.read_channel ~name:"vec_in" ~data_bytes:4 () ]
+    ~write_channels:
+      [ B.Config.write_channel ~name:"vec_out" ~data_bytes:4 () ]
+    ~commands:[ command ]
+    ~kernel_resources:(Platform.Resources.make ~clb:120 ~lut:600 ~ff:700 ())
+    ()
+
 let config ?(n_cores = 1) () =
-  B.Config.make ~name:"vecadd"
-    [
-      B.Config.system ~name:"VecAdd" ~n_cores
-        ~read_channels:
-          [ B.Config.read_channel ~name:"vec_in" ~data_bytes:4 () ]
-        ~write_channels:
-          [ B.Config.write_channel ~name:"vec_out" ~data_bytes:4 () ]
-        ~commands:[ command ]
-        ~kernel_resources:
-          (Platform.Resources.make ~clb:120 ~lut:600 ~ff:700 ())
-        ();
-    ]
+  B.Config.make ~name:"vecadd" [ system ~n_cores ]
 
 (* The Fig. 2 state machine at transaction level: each arriving word is
    incremented and pushed to the writer; the command completes when the

@@ -4,6 +4,10 @@
 
 val command : Beethoven.Cmd_spec.command
 
+val system : n_cores:int -> Beethoven.Config.system
+(** The ["VecAdd"] system alone, for composing into multi-system SoCs
+    (the serving layer deploys it next to the memcpy system). *)
+
 val config : ?n_cores:int -> unit -> Beethoven.Config.t
 (** The [MyAcceleratorConfig] equivalent: one system named ["VecAdd"]. *)
 

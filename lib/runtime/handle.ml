@@ -24,8 +24,17 @@ type response_handle = {
   mutable result : int64 option;
   mutable failed : string option;
       (* set instead of [result] when recovery is exhausted *)
+  mutable raw_at : int option;
+      (* when the raw response reached the MMIO frontend, before the
+         collect server operation — the service/collect phase boundary *)
   mutable waiters : (int64 -> unit) list;
+  mutable settle_waiters : ((int64, string) result -> unit) list;
+      (* fired exactly once, on success OR failure — the form a
+         multi-outstanding client needs for conservation accounting *)
 }
+
+let fresh_handle () =
+  { result = None; failed = None; raw_at = None; waiters = []; settle_waiters = [] }
 
 type t = {
   soc : Soc.t;
@@ -84,7 +93,8 @@ let tracer t = Soc.tracer t.soc
 
 (* One runtime-server operation: waits for the server lock, holds it for
    the service time, then continues. Start and finish are known at issue
-   time, so the trace span is recorded synchronously. *)
+   time, so the trace span is recorded synchronously. Returns the finish
+   time so batched submissions can ride a single occupancy. *)
 let server_op ?span ?(op = "op") t k =
   let now = Desim.Engine.now t.engine in
   let start = max now t.server_free_at in
@@ -102,7 +112,24 @@ let server_op ?span ?(op = "op") t k =
         Trace.add_arg tr sp "lock_wait_ps" (Trace.Int (start - now));
       Trace.end_span tr ~now:finish sp;
       Trace.add tr "server.busy_ps" t.server_op_ps);
-  Desim.Engine.schedule_at t.engine ~time:finish k
+  Desim.Engine.schedule_at t.engine ~time:finish k;
+  finish
+
+type batch = { b_ready : int }
+
+(* One server occupancy covers the MMIO writes of a whole coalesced
+   submission: the syscall + lock acquisition that [server_op_ps] models
+   is paid once for up to N compatible commands instead of once per beat
+   — the amortization a batching dispatcher buys (the Fig. 6 contention
+   knob). Beats ride the occupancy and enter the fabric when it ends. *)
+let begin_batch t ~n =
+  let finish =
+    server_op ~op:(Printf.sprintf "submit x%d" n) t (fun () -> ())
+  in
+  (match tracer t with
+  | None -> ()
+  | Some tr -> Trace.add tr "server.batched_cmds" n);
+  { b_ready = finish }
 
 let malloc t n =
   match t.pagemap with
@@ -266,28 +293,52 @@ let copy_from_fpga t ptr ~on_done =
     ~on_done
 
 (* Idempotent: a command retried by the watchdog can respond more than
-   once (at-least-once delivery); only the first response resolves. *)
+   once (at-least-once delivery); only the first response resolves, and a
+   handle that already failed stays failed (the settle accounting below
+   fires exactly once per handle, success or failure). *)
 let resolve handle v =
-  if handle.result = None then begin
+  if handle.result = None && handle.failed = None then begin
     handle.result <- Some v;
     let ws = handle.waiters in
     handle.waiters <- [];
-    List.iter (fun w -> w v) ws
+    List.iter (fun w -> w v) ws;
+    let sws = handle.settle_waiters in
+    handle.settle_waiters <- [];
+    List.iter (fun w -> w (Ok v)) sws
   end
 
-let send_raw ?span t cmd =
-  let handle = { result = None; failed = None; waiters = [] } in
+let fail handle msg =
+  if handle.result = None && handle.failed = None then begin
+    handle.failed <- Some msg;
+    let sws = handle.settle_waiters in
+    handle.settle_waiters <- [];
+    List.iter (fun w -> w (Error msg)) sws
+  end
+
+let send_raw ?span ?batch t cmd =
+  let handle = fresh_handle () in
   t.commands_sent <- t.commands_sent + 1;
   Log.debug (fun f ->
       f "send sys=%d core=%d funct=%d" cmd.Rocc.system_id cmd.Rocc.core_id
         cmd.Rocc.funct);
-  server_op ?span ~op:"submit" t (fun () ->
-      Soc.send_command ?span t.soc cmd ~on_response:(fun resp ->
-          (* the server polls the MMIO response queue; collection is
-             another serialized server operation *)
-          server_op ?span ~op:"collect" t (fun () ->
-              t.responses_received <- t.responses_received + 1;
-              resolve handle resp.Rocc.resp_data)));
+  let deliver () =
+    Soc.send_command ?span t.soc cmd ~on_response:(fun resp ->
+        if handle.raw_at = None then
+          handle.raw_at <- Some (Desim.Engine.now t.engine);
+        (* the server polls the MMIO response queue; collection is
+           another serialized server operation *)
+        ignore
+          (server_op ?span ~op:"collect" t (fun () ->
+               t.responses_received <- t.responses_received + 1;
+               resolve handle resp.Rocc.resp_data)))
+  in
+  (match batch with
+  | None -> ignore (server_op ?span ~op:"submit" t deliver)
+  | Some b ->
+      (* this beat's MMIO write was covered by the batch occupancy *)
+      Desim.Engine.schedule_at t.engine
+        ~time:(max b.b_ready (Desim.Engine.now t.engine))
+        deliver);
   handle
 
 let system_index t name =
@@ -304,27 +355,46 @@ let system_index t name =
 let is_quarantined t ~system_id ~core_id =
   Hashtbl.mem t.quarantined (system_id, core_id)
 
-let send t ~system ~core ~cmd ~args =
+let send ?batch ?queued_at t ~system ~core ~cmd ~args =
   let pairs = Cmd_spec.pack cmd args in
   let n = List.length pairs in
   let sys_id = system_index t system in
   (* Root span for the whole host-visible command: a fresh transaction id
      that every downstream span (server ops, NoC hops, core execution,
-     AXI bursts, DRAM activity) inherits through span parenting. *)
+     AXI bursts, DRAM activity) inherits through span parenting. A
+     dispatcher that queued the request before submitting it passes
+     [queued_at]: the root span then opens at enqueue time and the
+     queue-wait becomes its first child span, so the wait a request
+     accumulated in front of the runtime is visible under the command's
+     transaction id. *)
   let root =
     match tracer t with
     | None -> None
     | Some tr ->
         let now = Desim.Engine.now t.engine in
+        let start =
+          match queued_at with Some q when q < now -> q | _ -> now
+        in
         let txn = Trace.fresh_txn tr in
         let sp =
-          Trace.begin_span tr ~now ~txn ~track:"runtime" ~cat:"command"
+          Trace.begin_span tr ~now:start ~txn ~track:"runtime" ~cat:"command"
             ~name:(Printf.sprintf "%s %s/%d" cmd.Cmd_spec.cmd_name system core)
             ()
         in
         Trace.add_arg tr sp "beats" (Trace.Int n);
+        (match queued_at with
+        | Some q when q < now ->
+            ignore
+              (Trace.complete_span tr ~start:q ~stop:now ~parent:sp
+                 ~track:"runtime" ~cat:"serve" ~name:"queue-wait"
+                 ~args:[ ("wait_ps", Trace.Int (now - q)) ]
+                 ())
+        | _ -> ());
         Some (tr, sp)
   in
+  (* the coalesced occupancy covers only the first submission; watchdog
+     resends pay their own server operations *)
+  let batch_once = ref batch in
   let span = Option.map snd root in
   let finish_root () =
     match root with
@@ -346,10 +416,12 @@ let send t ~system ~core ~cmd ~args =
     h
   in
   let submit target_core =
+    let b = !batch_once in
+    batch_once := None;
     let handles =
       List.mapi
         (fun i (p1, p2) ->
-          send_raw ?span t
+          send_raw ?span ?batch:b t
             {
               Rocc.system_id = sys_id;
               core_id = target_core;
@@ -380,7 +452,7 @@ let send t ~system ~core ~cmd ~args =
             .systems sys_id
       in
       let n_cores = sys.Beethoven.Config.n_cores in
-      let outer = { result = None; failed = None; waiters = [] } in
+      let outer = fresh_handle () in
       let touched = ref [] in
       let next_core after =
         let rec go k =
@@ -406,9 +478,13 @@ let send t ~system ~core ~cmd ~args =
         let key = Soc.cmd_key t.soc ~system_id:sys_id ~core_id:target_core in
         if not (List.mem key !touched) then touched := key :: !touched;
         let h = submit target_core in
+        let succeed_with v =
+          if outer.raw_at = None then outer.raw_at <- h.raw_at;
+          succeed v
+        in
         (match h.result with
-        | Some v -> succeed v
-        | None -> h.waiters <- succeed :: h.waiters);
+        | Some v -> succeed_with v
+        | None -> h.waiters <- succeed_with :: h.waiters);
         Desim.Engine.schedule t.engine ~delay:timeout_ps (fun () ->
             if outer.result = None && h.result = None then begin
               t.command_timeouts <- t.command_timeouts + 1;
@@ -431,25 +507,35 @@ let send t ~system ~core ~cmd ~args =
                   ~timeout_ps:(2 * timeout_ps)
               end
               else begin
+                (* with several commands outstanding on one core, every
+                   one of them runs its retry budget out — the core is
+                   quarantined (and logged) exactly once, by whichever
+                   watchdog gets there first *)
+                let already =
+                  Hashtbl.mem t.quarantined (sys_id, target_core)
+                in
                 Hashtbl.replace t.quarantined (sys_id, target_core) ();
                 let now = Desim.Engine.now t.engine in
-                Fault.Injector.log inj ~now ~cls:Fault.Class.Core_hang
-                  ~kind:Fault.Log.Quarantined
-                  ~site:
-                    (Printf.sprintf
-                       "sys=%d core=%d after %d timed-out attempt(s)%s"
-                       sys_id target_core (tries + 1)
-                       (if
-                          Soc.core_hung t.soc ~system_id:sys_id
-                            ~core_id:target_core
-                        then " (injected hang)"
-                        else ""));
-                (match root with
-                | Some (tr, sp) ->
-                    Trace.add_arg tr sp
-                      (Printf.sprintf "quarantine[%d/%d]" sys_id target_core)
-                      (Trace.Int (Fault.Injector.last_id inj))
-                | None -> ());
+                if not already then begin
+                  Fault.Injector.log inj ~now ~cls:Fault.Class.Core_hang
+                    ~kind:Fault.Log.Quarantined
+                    ~site:
+                      (Printf.sprintf
+                         "sys=%d core=%d after %d timed-out attempt(s)%s"
+                         sys_id target_core (tries + 1)
+                         (if
+                            Soc.core_hung t.soc ~system_id:sys_id
+                              ~core_id:target_core
+                          then " (injected hang)"
+                          else ""));
+                  match root with
+                  | Some (tr, sp) ->
+                      Trace.add_arg tr sp
+                        (Printf.sprintf "quarantine[%d/%d]" sys_id
+                           target_core)
+                        (Trace.Int (Fault.Injector.last_id inj))
+                  | None -> ()
+                end;
                 match next_core target_core with
                 | Some c ->
                     t.command_retries <- t.command_retries + 1;
@@ -461,10 +547,9 @@ let send t ~system ~core ~cmd ~args =
                         Fault.Injector.resolve_lost inj ~now ~key
                           ~recovered:false)
                       !touched;
-                    outer.failed <-
-                      Some
-                        (Printf.sprintf "system %s: all cores quarantined"
-                           system);
+                    fail outer
+                      (Printf.sprintf "system %s: all cores quarantined"
+                         system);
                     (match root with
                     | Some (tr, sp) ->
                         Trace.add_arg tr sp "failed" (Trace.Str "quarantined")
@@ -482,8 +567,8 @@ let send t ~system ~core ~cmd ~args =
           attempt ~target_core:c ~tries:0
             ~timeout_ps:policy.Fault.Policy.cmd_timeout_ps
       | None ->
-          outer.failed <-
-            Some (Printf.sprintf "system %s: all cores quarantined" system);
+          fail outer
+            (Printf.sprintf "system %s: all cores quarantined" system);
           (match root with
           | Some (tr, sp) ->
               Trace.add_arg tr sp "failed" (Trace.Str "quarantined")
@@ -493,10 +578,26 @@ let send t ~system ~core ~cmd ~args =
 
 let try_get h = h.result
 
+type collect = Pending | Done of int64 | Failed of string
+
+let try_collect h =
+  match (h.result, h.failed) with
+  | Some v, _ -> Done v
+  | None, Some msg -> Failed msg
+  | None, None -> Pending
+
+let response_seen_at h = h.raw_at
+
 let on_ready h k =
   match h.result with
   | Some v -> k v
   | None -> h.waiters <- k :: h.waiters
+
+let on_settled h k =
+  match (h.result, h.failed) with
+  | Some v, _ -> k (Ok v)
+  | None, Some msg -> k (Error msg)
+  | None, None -> h.settle_waiters <- k :: h.settle_waiters
 
 let await t h =
   let module E = Desim.Engine in
@@ -511,6 +612,7 @@ let await t h =
   spin ()
 
 let await_all t hs = List.map (await t) hs
+let allocator t = t.alloc
 let command_timeouts t = t.command_timeouts
 let command_retries t = t.command_retries
 let commands_sent t = t.commands_sent

@@ -61,11 +61,50 @@ val copy_to_fpga : t -> remote_ptr -> on_done:(unit -> unit) -> unit
 
 val copy_from_fpga : t -> remote_ptr -> on_done:(unit -> unit) -> unit
 
-(** {1 Commands} *)
+(** {1 Commands}
+
+    {2 The multi-outstanding invariant}
+
+    Any number of commands may be in flight concurrently, including
+    several on one core. This is safe because:
+
+    - the beats of one {!send} occupy {e consecutive} server slots,
+      reserved atomically at submission (or ride one batch occupancy in
+      submission order), so the beats of two multi-beat commands never
+      interleave on their way to a core — reassembly at the core always
+      sees whole commands;
+    - the command NoC preserves per-route ordering (even under injected
+      delays), so per-core arrival order equals submission order;
+    - cores execute one command at a time and queue the rest, and
+      responses resolve their handles idempotently (a duplicate response
+      from a watchdog resend is dropped at the handle).
+
+    The one obligation on the client: the watchdog deadline
+    ([policy.cmd_timeout_ps]) covers queueing {e at the core}, so a
+    client keeping many commands outstanding on one core must either
+    bound per-core occupancy (as [Serve]'s least-outstanding-work
+    dispatcher does) or size the deadline above the worst-case queue
+    depth times service time — otherwise a merely busy core is resent to,
+    and eventually quarantined, as if it had hung. A core is quarantined
+    (and its ledger entry logged) exactly once no matter how many
+    outstanding commands time out on it. *)
 
 type response_handle
 
+type batch
+(** One runtime-server occupancy shared by a coalesced submission: the
+    syscall + MMIO cost that [server_op_ps] models is paid once for the
+    whole batch instead of once per beat. *)
+
+val begin_batch : t -> n:int -> batch
+(** Reserve one server occupancy for a batch of [n] compatible commands
+    about to be {!send}t with [~batch]. The occupancy starts when the
+    server frees up and beats enter the fabric when it ends; [n] is
+    recorded on the tracer's [server.batched_cmds] counter. *)
+
 val send :
+  ?batch:batch ->
+  ?queued_at:int ->
   t ->
   system:string ->
   core:int ->
@@ -80,14 +119,43 @@ val send :
     the core is quarantined and the command rerouted to the next healthy
     core of the system — at-least-once delivery, so kernels are assumed
     idempotent. With every core of the system quarantined the handle
-    fails and {!await} raises. *)
+    fails and {!await} raises.
 
-val send_raw : ?span:int -> t -> Beethoven.Rocc.t -> response_handle
+    [batch] submits this command on a shared server occupancy from
+    {!begin_batch} (watchdog resends pay their own server operations).
+    [queued_at] tells the tracer when the request was enqueued upstream:
+    the root command span then opens at that time with a ["queue-wait"]
+    child span covering enqueue → submission, under the command's
+    transaction id. *)
+
+val send_raw :
+  ?span:int -> ?batch:batch -> t -> Beethoven.Rocc.t -> response_handle
 (** Submit one raw RoCC beat. [span] is the trace parent for the server
     operations and the SoC delivery path (see {!tracer}). *)
 
 val try_get : response_handle -> int64 option
+
+type collect = Pending | Done of int64 | Failed of string
+
+val try_collect : response_handle -> collect
+(** Non-blocking response poll: [Pending] while the command is in flight,
+    [Done] once the response was collected, [Failed] when recovery was
+    exhausted (every core of the system quarantined). Never advances the
+    simulation — the multi-outstanding client drives the engine itself
+    and polls, or registers {!on_settled}. *)
+
+val response_seen_at : response_handle -> int option
+(** Simulated time the raw response reached the MMIO frontend, before
+    the serialized collect operation — the service/collect phase boundary
+    a latency breakdown needs. [None] until then (or on failure). *)
+
 val on_ready : response_handle -> (int64 -> unit) -> unit
+(** Call [k] on success. Never fires on failure; conservation accounting
+    should use {!on_settled}. *)
+
+val on_settled : response_handle -> ((int64, string) result -> unit) -> unit
+(** Call [k] exactly once when the handle settles: [Ok data] on the
+    (first) response, [Error msg] when recovery is exhausted. *)
 
 val await : t -> response_handle -> int64
 (** Run the simulation until the response arrives ([response_handle::get]).
@@ -111,3 +179,8 @@ val is_quarantined : t -> system_id:int -> core_id:int -> bool
 val server_busy_ps : t -> int
 (** Total time the runtime server spent servicing operations — the
     contention metric. *)
+
+val allocator : t -> Alloc.t
+(** The discrete-platform device allocator, for read-only inspection
+    (invariant checks, fragmentation accounting in churn tests). On
+    embedded platforms ({!Pagemap}-backed) it is present but unused. *)

@@ -1,0 +1,862 @@
+module B = Beethoven
+module Soc = B.Soc
+module H = Runtime.Handle
+module S = Desim.Stats
+
+(* ------------------------------------------------------------------ *)
+(* Workload description                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Mix = struct
+  type kind = Memcpy | Vecadd
+
+  type klass = {
+    k_label : string;
+    k_kind : kind;
+    k_bytes : int;
+    k_weight : float;
+  }
+
+  type t = klass list
+
+  let kind_system = function Memcpy -> "Memcpy" | Vecadd -> "VecAdd"
+
+  (* Payloads are rounded to the 64 B beat granule so every request maps
+     onto whole bursts; vecadd additionally needs 4 B elements, which 64
+     already guarantees. *)
+  let round64 b = ((max 64 b) + 63) / 64 * 64
+
+  let human b =
+    if b >= 1024 && b mod 1024 = 0 then Printf.sprintf "%dk" (b / 1024)
+    else Printf.sprintf "%db" b
+
+  let memcpy ?label ?(weight = 1.0) ~bytes () =
+    let b = round64 bytes in
+    let k_label =
+      match label with
+      | Some l -> l
+      | None -> Printf.sprintf "memcpy-%s" (human b)
+    in
+    { k_label; k_kind = Memcpy; k_bytes = b; k_weight = weight }
+
+  let vecadd ?label ?(weight = 1.0) ~bytes () =
+    let b = round64 bytes in
+    let k_label =
+      match label with
+      | Some l -> l
+      | None -> Printf.sprintf "vecadd-%s" (human b)
+    in
+    { k_label; k_kind = Vecadd; k_bytes = b; k_weight = weight }
+
+  let default =
+    [
+      memcpy ~weight:3.0 ~bytes:(4 * 1024) ();
+      memcpy ~weight:2.0 ~bytes:(16 * 1024) ();
+      memcpy ~weight:1.0 ~bytes:(64 * 1024) ();
+      vecadd ~weight:2.0 ~bytes:(4 * 1024) ();
+    ]
+end
+
+module Tenant = struct
+  type load =
+    | Open_loop of { rate_rps : float }
+    | Closed_loop of { think_ps : int }
+
+  type t = {
+    t_name : string;
+    t_weight : float;
+    t_clients : int;
+    t_load : load;
+    t_slo_ps : int;
+    t_deadline_ps : int;
+    t_queue_cap : int;
+    t_mix : Mix.t;
+  }
+
+  let make ?(weight = 1.0) ?(clients = 4) ?(slo_ps = 150_000_000)
+      ?(deadline_ps = 600_000_000) ?(queue_cap = 64) ?(mix = Mix.default)
+      ~name ~load () =
+    if weight <= 0. then invalid_arg "Serve.Tenant.make: weight must be > 0";
+    if clients < 1 then invalid_arg "Serve.Tenant.make: clients must be >= 1";
+    if queue_cap < 1 then
+      invalid_arg "Serve.Tenant.make: queue_cap must be >= 1";
+    if mix = [] then invalid_arg "Serve.Tenant.make: empty mix";
+    {
+      t_name = name;
+      t_weight = weight;
+      t_clients = clients;
+      t_load = load;
+      t_slo_ps = slo_ps;
+      t_deadline_ps = deadline_ps;
+      t_queue_cap = queue_cap;
+      t_mix = mix;
+    }
+end
+
+type policy = Wfq | Fifo
+
+let policy_name = function Wfq -> "wfq" | Fifo -> "fifo"
+
+let policy_of_name = function
+  | "wfq" -> Some Wfq
+  | "fifo" -> Some Fifo
+  | _ -> None
+
+type config = {
+  c_seed : int;
+  c_duration_ps : int;
+  c_tenants : Tenant.t list;
+  c_policy : policy;
+  c_batch_max : int;
+  c_core_cap : int;
+  c_n_cores : int;
+  c_max_events : int;
+}
+
+let config ?(seed = 42) ?(duration_ps = 2_000_000_000) ?(policy = Wfq)
+    ?(batch_max = 8) ?(core_cap = 4) ?(n_cores = 4) ?(max_events = 50_000_000)
+    ~tenants () =
+  if tenants = [] then invalid_arg "Serve.config: no tenants";
+  if duration_ps < 1 then invalid_arg "Serve.config: duration must be >= 1";
+  if batch_max < 1 then invalid_arg "Serve.config: batch_max must be >= 1";
+  if core_cap < 1 then invalid_arg "Serve.config: core_cap must be >= 1";
+  if n_cores < 1 then invalid_arg "Serve.config: n_cores must be >= 1";
+  {
+    c_seed = seed;
+    c_duration_ps = duration_ps;
+    c_tenants = tenants;
+    c_policy = policy;
+    c_batch_max = batch_max;
+    c_core_cap = core_cap;
+    c_n_cores = n_cores;
+    c_max_events = max_events;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Campaign state                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type req = {
+  rq_class : Mix.klass;
+  rq_arrival : int;
+  rq_deadline : int;
+  rq_k : (unit -> unit) option;  (* closed-loop continuation *)
+}
+
+type tstate = {
+  ts_t : Tenant.t;
+  ts_queue : req Queue.t;
+  mutable ts_vft : float;  (* WFQ virtual finish time of the last dispatch *)
+  mutable ts_offered : int;
+  mutable ts_admitted : int;
+  mutable ts_shed_queue : int;
+  mutable ts_shed_deadline : int;
+  mutable ts_completed : int;
+  mutable ts_failed : int;
+  mutable ts_bad : int;
+  mutable ts_slo_viol : int;
+  mutable ts_bytes : int;
+  ts_q_wait : S.series;  (* all four in microseconds *)
+  ts_service : S.series;
+  ts_collect : S.series;
+  ts_total : S.series;
+}
+
+(* One deployed system (a kernel kind at [c_n_cores] cores): per-core
+   outstanding counts drive the least-outstanding-work shard choice, the
+   dispatched counts are the evidence kept for the report. *)
+type sysstate = {
+  sy_kind : Mix.kind;
+  sy_name : string;
+  sy_id : int;  (* index in the elaborated design, for quarantine checks *)
+  sy_out : int array;
+  sy_disp : int array;
+}
+
+type sstate = {
+  st_cfg : config;
+  st_engine : Desim.Engine.t;
+  st_handle : H.t;
+  st_tracer : Trace.t option;
+  st_tenants : tstate array;
+  st_systems : sysstate array;
+  mutable st_global_v : float;  (* WFQ system virtual time *)
+  mutable st_armed : bool;
+  mutable st_batches : int;
+  mutable st_batched : int;
+}
+
+let sys_index st (kind : Mix.kind) =
+  let rec go i =
+    if i >= Array.length st.st_systems then
+      invalid_arg "Serve: request kind has no deployed system"
+    else if st.st_systems.(i).sy_kind = kind then i
+    else go (i + 1)
+  in
+  go 0
+
+let sample_depth st ts =
+  match st.st_tracer with
+  | None -> ()
+  | Some tr ->
+      Trace.sample tr
+        ~now:(Desim.Engine.now st.st_engine)
+        (Printf.sprintf "serve.q.%s.depth" ts.ts_t.Tenant.t_name)
+        (Queue.length ts.ts_queue)
+
+let bump st name =
+  match st.st_tracer with None -> () | Some tr -> Trace.add tr name 1
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Deadline shedding happens when a request reaches the head of its
+   tenant queue: requests behind it are younger (per-tenant FIFO), so an
+   un-expired head proves nothing behind it expired. *)
+let shed_expired st ts =
+  let now = Desim.Engine.now st.st_engine in
+  let rec go () =
+    match Queue.peek_opt ts.ts_queue with
+    | Some r when now > r.rq_deadline ->
+        ignore (Queue.pop ts.ts_queue);
+        ts.ts_shed_deadline <- ts.ts_shed_deadline + 1;
+        bump st "serve.shed_deadline";
+        sample_depth st ts;
+        (match r.rq_k with Some k -> k () | None -> ());
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+(* Least-outstanding-work core within a system, respecting the per-core
+   occupancy cap and avoiding quarantined cores when a healthy one has
+   room. If only quarantined cores have room we still dispatch — the
+   handle fails fast and the request settles as failed instead of
+   wedging its queue. *)
+let choose_core st sy =
+  let cap = st.st_cfg.c_core_cap in
+  let best = ref (-1) and best_q = ref (-1) in
+  Array.iteri
+    (fun c out ->
+      if out < cap then
+        if H.is_quarantined st.st_handle ~system_id:sy.sy_id ~core_id:c then (
+          if !best_q < 0 || out < sy.sy_out.(!best_q) then best_q := c)
+        else if !best < 0 || out < sy.sy_out.(!best) then best := c)
+    sy.sy_out;
+  if !best >= 0 then Some !best else if !best_q >= 0 then Some !best_q
+  else None
+
+(* Start-time fair queueing: the key of a tenant's head request is its
+   virtual START tag — the finish tag of the tenant's previous dispatch,
+   or the system virtual time if the tenant went idle. Dispatching
+   advances the tenant's finish tag by bytes/weight (heavier tenants
+   accumulate virtual time more slowly, so they win more often) and
+   ratchets the system time to the dispatched start tag. Comparing start
+   tags rather than finish tags matters: a finish-tag rule under this
+   virtual clock permanently starves any flow whose normalized cost
+   (bytes/weight) exceeds a backlogged competitor's. *)
+let wfq_key st ts = Float.max ts.ts_vft st.st_global_v
+
+(* Pick (and reserve a core for) the next dispatchable request.
+   [same] constrains the choice to one deployed system — the batching
+   compatibility rule: one server occupancy carries commands for one
+   system only. *)
+let pick_next st ~same =
+  let cand = ref None in
+  Array.iteri
+    (fun ti ts ->
+      shed_expired st ts;
+      match Queue.peek_opt ts.ts_queue with
+      | None -> ()
+      | Some r -> (
+          let si = sys_index st r.rq_class.Mix.k_kind in
+          if (match same with Some s -> s = si | None -> true) then
+            match choose_core st st.st_systems.(si) with
+            | None -> ()  (* system saturated: head-of-line blocked *)
+            | Some core ->
+                let key =
+                  match st.st_cfg.c_policy with
+                  | Wfq -> wfq_key st ts
+                  | Fifo -> float_of_int r.rq_arrival
+                in
+                let better =
+                  match !cand with
+                  | None -> true
+                  | Some (k, _, _, _, _) -> key < k
+                in
+                if better then cand := Some (key, ti, r, si, core)))
+    st.st_tenants;
+  match !cand with
+  | None -> None
+  | Some (_, ti, r, si, core) ->
+      let ts = st.st_tenants.(ti) in
+      ignore (Queue.pop ts.ts_queue);
+      sample_depth st ts;
+      (match st.st_cfg.c_policy with
+      | Wfq ->
+          let start = Float.max ts.ts_vft st.st_global_v in
+          ts.ts_vft <-
+            start
+            +. (float_of_int r.rq_class.Mix.k_bytes /. ts.ts_t.Tenant.t_weight);
+          st.st_global_v <- start
+      | Fifo -> ());
+      (* reserve the slot so the rest of the batch sees the occupancy *)
+      st.st_systems.(si).sy_out.(core) <-
+        st.st_systems.(si).sy_out.(core) + 1;
+      Some (ts, r, si, core)
+
+let rec arm_dispatch st =
+  if not st.st_armed then begin
+    st.st_armed <- true;
+    Desim.Engine.schedule st.st_engine ~delay:0 (fun () ->
+        st.st_armed <- false;
+        dispatch_all st)
+  end
+
+and dispatch_all st =
+  match pick_next st ~same:None with
+  | None -> ()
+  | Some first ->
+      let _, _, si, _ = first in
+      let picks = ref [ first ] and n = ref 1 in
+      let continue_ = ref true in
+      while !continue_ && !n < st.st_cfg.c_batch_max do
+        match pick_next st ~same:(Some si) with
+        | Some p ->
+            picks := p :: !picks;
+            incr n
+        | None -> continue_ := false
+      done;
+      let picks = List.rev !picks in
+      st.st_batches <- st.st_batches + 1;
+      st.st_batched <- st.st_batched + !n;
+      let batch = H.begin_batch st.st_handle ~n:!n in
+      List.iter (submit st ~batch) picks;
+      dispatch_all st
+
+and submit st ~batch (ts, r, si, core) =
+  let sy = st.st_systems.(si) in
+  let h = st.st_handle in
+  let now = Desim.Engine.now st.st_engine in
+  sy.sy_disp.(core) <- sy.sy_disp.(core) + 1;
+  let bytes = r.rq_class.Mix.k_bytes in
+  let a = H.malloc h bytes and b = H.malloc h bytes in
+  let args, cmd, expect =
+    match r.rq_class.Mix.k_kind with
+    | Mix.Memcpy ->
+        ( [
+            ("src", Int64.of_int a.H.rp_addr);
+            ("dst", Int64.of_int b.H.rp_addr);
+            ("bytes", Int64.of_int bytes);
+          ],
+          Kernels.Memcpy.command,
+          Int64.of_int bytes )
+    | Mix.Vecadd ->
+        let n_eles = bytes / 4 in
+        ( [
+            ("addend", 1L);
+            ("vec_addr", Int64.of_int a.H.rp_addr);
+            ("out_addr", Int64.of_int b.H.rp_addr);
+            ("n_eles", Int64.of_int n_eles);
+          ],
+          Kernels.Vecadd.command,
+          Int64.of_int n_eles )
+  in
+  let rh = H.send ~batch ~queued_at:r.rq_arrival h ~system:sy.sy_name ~core ~cmd ~args in
+  H.on_settled rh (fun res ->
+      let tnow = Desim.Engine.now st.st_engine in
+      H.mfree h a;
+      H.mfree h b;
+      sy.sy_out.(core) <- sy.sy_out.(core) - 1;
+      (match res with
+      | Ok v ->
+          ts.ts_completed <- ts.ts_completed + 1;
+          if v <> expect then ts.ts_bad <- ts.ts_bad + 1;
+          ts.ts_bytes <- ts.ts_bytes + bytes;
+          let us ps = float_of_int ps /. 1e6 in
+          let total = tnow - r.rq_arrival in
+          let seen =
+            match H.response_seen_at rh with Some s -> s | None -> tnow
+          in
+          S.observe ts.ts_q_wait (us (now - r.rq_arrival));
+          S.observe ts.ts_service (us (seen - now));
+          S.observe ts.ts_collect (us (tnow - seen));
+          S.observe ts.ts_total (us total);
+          if total > ts.ts_t.Tenant.t_slo_ps then
+            ts.ts_slo_viol <- ts.ts_slo_viol + 1;
+          bump st "serve.completed";
+          (match st.st_tracer with
+          | Some tr ->
+              Trace.observe tr
+                (Printf.sprintf "serve.%s.total_us" ts.ts_t.Tenant.t_name)
+                (us total)
+          | None -> ())
+      | Error _ ->
+          ts.ts_failed <- ts.ts_failed + 1;
+          bump st "serve.failed");
+      (match r.rq_k with Some k -> k () | None -> ());
+      arm_dispatch st)
+
+(* ------------------------------------------------------------------ *)
+(* Admission control                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let offer st ts ~klass ~k =
+  ts.ts_offered <- ts.ts_offered + 1;
+  if Queue.length ts.ts_queue >= ts.ts_t.Tenant.t_queue_cap then begin
+    ts.ts_shed_queue <- ts.ts_shed_queue + 1;
+    bump st "serve.shed_queue";
+    false
+  end
+  else begin
+    let now = Desim.Engine.now st.st_engine in
+    Queue.push
+      {
+        rq_class = klass;
+        rq_arrival = now;
+        rq_deadline = now + ts.ts_t.Tenant.t_deadline_ps;
+        rq_k = k;
+      }
+      ts.ts_queue;
+    ts.ts_admitted <- ts.ts_admitted + 1;
+    bump st "serve.admitted";
+    sample_depth st ts;
+    arm_dispatch st;
+    true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Clients                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let draw_class rng (mix : Mix.t) =
+  let total = List.fold_left (fun a k -> a +. k.Mix.k_weight) 0. mix in
+  let u = Fault.Rng.float rng *. total in
+  let rec go u = function
+    | [ k ] -> k
+    | k :: tl -> if u < k.Mix.k_weight then k else go (u -. k.Mix.k_weight) tl
+    | [] -> assert false
+  in
+  go u mix
+
+let exp_draw rng ~mean_ps =
+  let u = Fault.Rng.float rng in
+  max 1 (int_of_float (-.log (1. -. u) *. mean_ps))
+
+(* Every client owns a splitmix64 stream derived from (campaign seed,
+   tenant index, client index) only — arrivals, sizes and think times
+   never depend on completion order, so the offered load is identical
+   across policies and fault plans. *)
+let client_rng cfg ~ti ~ci =
+  Fault.Rng.create
+    ~seed:
+      (Int64.of_int
+         ((cfg.c_seed * 1_000_003) + (ti * 8191) + (ci * 131) + 17))
+
+let start_clients st =
+  let cfg = st.st_cfg in
+  let horizon = cfg.c_duration_ps in
+  let engine = st.st_engine in
+  Array.iteri
+    (fun ti ts ->
+      let t = ts.ts_t in
+      for ci = 0 to t.Tenant.t_clients - 1 do
+        let rng = client_rng cfg ~ti ~ci in
+        match t.Tenant.t_load with
+        | Tenant.Open_loop { rate_rps } ->
+            if rate_rps <= 0. then
+              invalid_arg "Serve: open-loop rate must be > 0";
+            let mean_ps = 1e12 /. rate_rps in
+            let rec arrive () =
+              if Desim.Engine.now engine < horizon then begin
+                ignore (offer st ts ~klass:(draw_class rng t.Tenant.t_mix) ~k:None);
+                Desim.Engine.schedule engine ~delay:(exp_draw rng ~mean_ps)
+                  arrive
+              end
+            in
+            Desim.Engine.schedule engine ~delay:(exp_draw rng ~mean_ps) arrive
+        | Tenant.Closed_loop { think_ps } ->
+            let rec issue () =
+              if Desim.Engine.now engine < horizon then begin
+                let k () =
+                  Desim.Engine.schedule engine ~delay:(max 1 think_ps) issue
+                in
+                if
+                  not
+                    (offer st ts
+                       ~klass:(draw_class rng t.Tenant.t_mix)
+                       ~k:(Some k))
+                then
+                  (* admission shed: back off so a full queue is retried
+                     at queue-drain granularity, not every tick *)
+                  Desim.Engine.schedule engine
+                    ~delay:(max think_ps 1_000_000)
+                    issue
+              end
+            in
+            (* stagger the initial burst deterministically *)
+            Desim.Engine.schedule engine
+              ~delay:(1 + Fault.Rng.int rng ~bound:(max 1 (think_ps + 1)))
+              issue
+      done)
+    st.st_tenants
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type phase = {
+  ph_n : int;
+  ph_mean_us : float;
+  ph_p50_us : float;
+  ph_p95_us : float;
+  ph_p99_us : float;
+  ph_p999_us : float;
+}
+
+type tenant_report = {
+  tr_name : string;
+  tr_weight : float;
+  tr_offered : int;
+  tr_admitted : int;
+  tr_shed_queue : int;
+  tr_shed_deadline : int;
+  tr_completed : int;
+  tr_failed : int;
+  tr_bad_responses : int;
+  tr_slo_violations : int;
+  tr_bytes_served : int;
+  tr_offered_rps : float;
+  tr_achieved_rps : float;
+  tr_queue : phase option;
+  tr_service : phase option;
+  tr_collect : phase option;
+  tr_total : phase option;
+}
+
+type report = {
+  r_seed : int;
+  r_policy : policy;
+  r_duration_ps : int;
+  r_wall_ps : int;
+  r_tenants : tenant_report list;
+  r_batches : int;
+  r_batched_commands : int;
+  r_server_busy_ps : int;
+  r_dispatched_per_core : (string * int array) list;
+  r_stuck : int;
+  r_alloc_ok : bool;
+  r_leaked_blocks : int;
+  r_free_delta : int;
+  r_injector : Fault.Injector.t option;
+}
+
+let phase_of series =
+  match S.summarize_opt series with
+  | None -> None
+  | Some s ->
+      let q q =
+        match S.quantile_opt series ~q with Some v -> v | None -> 0.
+      in
+      Some
+        {
+          ph_n = s.S.n;
+          ph_mean_us = s.S.mean;
+          ph_p50_us = q 0.5;
+          ph_p95_us = q 0.95;
+          ph_p99_us = q 0.99;
+          ph_p999_us = q 0.999;
+        }
+
+let kinds_used cfg =
+  let used k =
+    List.exists
+      (fun t -> List.exists (fun c -> c.Mix.k_kind = k) t.Tenant.t_mix)
+      cfg.c_tenants
+  in
+  List.filter used [ Mix.Memcpy; Mix.Vecadd ]
+
+let run ?tracer ?plan ?fault_policy ?(platform = Platform.Device.aws_f1) cfg
+    () =
+  let kinds = kinds_used cfg in
+  let systems =
+    List.map
+      (function
+        | Mix.Memcpy -> Kernels.Memcpy.system ~n_cores:cfg.c_n_cores
+        | Mix.Vecadd -> Kernels.Vecadd.system ~n_cores:cfg.c_n_cores)
+      kinds
+  in
+  let inj = Option.map Fault.Injector.create plan in
+  let design =
+    B.Elaborate.elaborate (B.Config.make ~name:"serve" systems) platform
+  in
+  let behaviors name =
+    if name = "Memcpy" then Kernels.Memcpy.behavior else Kernels.Vecadd.behavior
+  in
+  let soc =
+    Soc.create ?tracer ?fault:inj ?policy:fault_policy design ~behaviors
+  in
+  let handle = H.create soc in
+  let engine = Soc.engine soc in
+  let baseline_free = Runtime.Alloc.free_bytes (H.allocator handle) in
+  let st =
+    {
+      st_cfg = cfg;
+      st_engine = engine;
+      st_handle = handle;
+      st_tracer = tracer;
+      st_tenants =
+        Array.of_list
+          (List.map
+             (fun t ->
+               {
+                 ts_t = t;
+                 ts_queue = Queue.create ();
+                 ts_vft = 0.;
+                 ts_offered = 0;
+                 ts_admitted = 0;
+                 ts_shed_queue = 0;
+                 ts_shed_deadline = 0;
+                 ts_completed = 0;
+                 ts_failed = 0;
+                 ts_bad = 0;
+                 ts_slo_viol = 0;
+                 ts_bytes = 0;
+                 ts_q_wait = S.series ();
+                 ts_service = S.series ();
+                 ts_collect = S.series ();
+                 ts_total = S.series ();
+               })
+             cfg.c_tenants);
+      st_systems =
+        Array.of_list
+          (List.mapi
+             (fun i k ->
+               {
+                 sy_kind = k;
+                 sy_name = Mix.kind_system k;
+                 sy_id = i;
+                 sy_out = Array.make cfg.c_n_cores 0;
+                 sy_disp = Array.make cfg.c_n_cores 0;
+               })
+             kinds);
+      st_global_v = 0.;
+      st_armed = false;
+      st_batches = 0;
+      st_batched = 0;
+    }
+  in
+  start_clients st;
+  Desim.Engine.drain_or_fail ~max_events:cfg.c_max_events engine;
+  let wall_ps = Desim.Engine.now engine in
+  let stuck =
+    Array.fold_left (fun a ts -> a + Queue.length ts.ts_queue) 0 st.st_tenants
+  in
+  let alloc = H.allocator handle in
+  let tenants =
+    Array.to_list
+      (Array.map
+         (fun ts ->
+           {
+             tr_name = ts.ts_t.Tenant.t_name;
+             tr_weight = ts.ts_t.Tenant.t_weight;
+             tr_offered = ts.ts_offered;
+             tr_admitted = ts.ts_admitted;
+             tr_shed_queue = ts.ts_shed_queue;
+             tr_shed_deadline = ts.ts_shed_deadline;
+             tr_completed = ts.ts_completed;
+             tr_failed = ts.ts_failed;
+             tr_bad_responses = ts.ts_bad;
+             tr_slo_violations = ts.ts_slo_viol;
+             tr_bytes_served = ts.ts_bytes;
+             tr_offered_rps =
+               float_of_int ts.ts_offered
+               /. (float_of_int cfg.c_duration_ps /. 1e12);
+             tr_achieved_rps =
+               (if wall_ps = 0 then 0.
+                else
+                  float_of_int ts.ts_completed
+                  /. (float_of_int wall_ps /. 1e12));
+             tr_queue = phase_of ts.ts_q_wait;
+             tr_service = phase_of ts.ts_service;
+             tr_collect = phase_of ts.ts_collect;
+             tr_total = phase_of ts.ts_total;
+           })
+         st.st_tenants)
+  in
+  {
+    r_seed = cfg.c_seed;
+    r_policy = cfg.c_policy;
+    r_duration_ps = cfg.c_duration_ps;
+    r_wall_ps = wall_ps;
+    r_tenants = tenants;
+    r_batches = st.st_batches;
+    r_batched_commands = st.st_batched;
+    r_server_busy_ps = H.server_busy_ps handle;
+    r_dispatched_per_core =
+      Array.to_list
+        (Array.map (fun sy -> (sy.sy_name, Array.copy sy.sy_disp)) st.st_systems);
+    r_stuck = stuck;
+    r_alloc_ok = Runtime.Alloc.check_invariants alloc;
+    r_leaked_blocks = Runtime.Alloc.n_blocks alloc;
+    r_free_delta = Runtime.Alloc.free_bytes alloc - baseline_free;
+    r_injector = inj;
+  }
+
+let violations r =
+  let out = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  List.iter
+    (fun t ->
+      if t.tr_offered <> t.tr_admitted + t.tr_shed_queue then
+        add "%s: offered %d <> admitted %d + shed-at-admission %d" t.tr_name
+          t.tr_offered t.tr_admitted t.tr_shed_queue;
+      if
+        t.tr_admitted
+        <> t.tr_completed + t.tr_shed_deadline + t.tr_failed
+      then
+        add "%s: admitted %d <> completed %d + shed-at-dispatch %d + failed %d"
+          t.tr_name t.tr_admitted t.tr_completed t.tr_shed_deadline t.tr_failed;
+      if t.tr_bad_responses > 0 then
+        add "%s: %d response payloads mismatched their requests" t.tr_name
+          t.tr_bad_responses)
+    r.r_tenants;
+  if r.r_stuck > 0 then add "%d requests still queued after drain" r.r_stuck;
+  if not r.r_alloc_ok then add "allocator invariants violated";
+  if r.r_leaked_blocks > 0 then
+    add "%d device allocations leaked" r.r_leaked_blocks;
+  if r.r_free_delta <> 0 then
+    add "free_bytes drifted %+d from the pre-campaign baseline" r.r_free_delta;
+  (match r.r_injector with
+  | Some inj when Fault.Injector.pending_lost inj > 0 ->
+      add "%d lost-message faults never resolved"
+        (Fault.Injector.pending_lost inj)
+  | _ -> ());
+  List.rev !out
+
+let conserved r = violations r = []
+
+let digest r =
+  let b = Buffer.create 256 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "serve seed=%d policy=%s wall=%d batches=%d cmds=%d busy=%d" r.r_seed
+    (policy_name r.r_policy) r.r_wall_ps r.r_batches r.r_batched_commands
+    r.r_server_busy_ps;
+  List.iter
+    (fun t ->
+      pf " | %s off=%d adm=%d shq=%d shd=%d ok=%d fail=%d bad=%d slo=%d by=%d"
+        t.tr_name t.tr_offered t.tr_admitted t.tr_shed_queue t.tr_shed_deadline
+        t.tr_completed t.tr_failed t.tr_bad_responses t.tr_slo_violations
+        t.tr_bytes_served;
+      match t.tr_total with
+      | Some p -> pf " p99=%.2f" p.ph_p99_us
+      | None -> pf " p99=-")
+    r.r_tenants;
+  pf " | stuck=%d alloc=%s leak=%d drift=%d" r.r_stuck
+    (if r.r_alloc_ok then "ok" else "BAD")
+    r.r_leaked_blocks r.r_free_delta;
+  (match r.r_injector with
+  | Some inj -> pf " | %s" (Fault.Injector.counters_line inj)
+  | None -> ());
+  Buffer.contents b
+
+let render r =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "serve campaign: seed=%d policy=%s duration=%.0f us wall=%.0f us\n"
+    r.r_seed (policy_name r.r_policy)
+    (float_of_int r.r_duration_ps /. 1e6)
+    (float_of_int r.r_wall_ps /. 1e6);
+  pf "  server: %d batches carrying %d commands (%.2f cmds/occupancy), busy %.0f us\n"
+    r.r_batches r.r_batched_commands
+    (if r.r_batches = 0 then 0.
+     else float_of_int r.r_batched_commands /. float_of_int r.r_batches)
+    (float_of_int r.r_server_busy_ps /. 1e6);
+  List.iter
+    (fun (name, disp) ->
+      pf "  %-8s dispatched per core:" name;
+      Array.iter (fun d -> pf " %d" d) disp;
+      pf "\n")
+    r.r_dispatched_per_core;
+  pf "\n%-10s %4s %8s %8s %6s %6s %8s %6s %6s %10s %10s\n" "tenant" "wt"
+    "offered" "admitted" "shedQ" "shedD" "complete" "fail" "slo!"
+    "offered/s" "achieved/s";
+  List.iter
+    (fun t ->
+      pf "%-10s %4.1f %8d %8d %6d %6d %8d %6d %6d %10.0f %10.0f\n" t.tr_name
+        t.tr_weight t.tr_offered t.tr_admitted t.tr_shed_queue
+        t.tr_shed_deadline t.tr_completed t.tr_failed t.tr_slo_violations
+        t.tr_offered_rps t.tr_achieved_rps)
+    r.r_tenants;
+  pf "\nlatency (us)%-16s %8s %8s %8s %8s %8s\n" "" "mean" "p50" "p95" "p99"
+    "p99.9";
+  List.iter
+    (fun t ->
+      let row label = function
+        | None -> pf "  %-10s %-15s %8s %8s %8s %8s %8s\n" t.tr_name label "-" "-" "-" "-" "-"
+        | Some p ->
+            pf "  %-10s %-15s %8.1f %8.1f %8.1f %8.1f %8.1f\n" t.tr_name label
+              p.ph_mean_us p.ph_p50_us p.ph_p95_us p.ph_p99_us p.ph_p999_us
+      in
+      row "queue-wait" t.tr_queue;
+      row "service" t.tr_service;
+      row "collect" t.tr_collect;
+      row "total" t.tr_total)
+    r.r_tenants;
+  (match r.r_injector with
+  | Some inj -> pf "\nfaults: %s\n" (Fault.Injector.counters_line inj)
+  | None -> ());
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Saturation sweep                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type sat_point = {
+  sat_offered_rps : float;
+  sat_achieved_rps : float;
+  sat_completed : int;
+  sat_shed : int;
+  sat_p50_us : float;
+  sat_p99_us : float;
+}
+
+let saturation ?(seed = 42) ?(bytes = 16 * 1024) ?(n_cores = 4) ?(clients = 8)
+    ?(duration_ps = 1_000_000_000) ?(batch_max = 8)
+    ?(platform = Platform.Device.aws_f1) ~rates_rps () =
+  List.map
+    (fun rate ->
+      let tenant =
+        Tenant.make ~name:"load" ~clients ~queue_cap:128
+          ~mix:[ Mix.memcpy ~bytes () ]
+          ~load:(Tenant.Open_loop { rate_rps = rate /. float_of_int clients })
+          ()
+      in
+      let cfg =
+        config ~seed ~duration_ps ~batch_max ~n_cores ~tenants:[ tenant ] ()
+      in
+      let r = run ~platform cfg () in
+      let t = List.hd r.r_tenants in
+      let q f = match t.tr_total with Some p -> f p | None -> 0. in
+      {
+        sat_offered_rps = t.tr_offered_rps;
+        sat_achieved_rps = t.tr_achieved_rps;
+        sat_completed = t.tr_completed;
+        sat_shed = t.tr_shed_queue + t.tr_shed_deadline;
+        sat_p50_us = q (fun p -> p.ph_p50_us);
+        sat_p99_us = q (fun p -> p.ph_p99_us);
+      })
+    rates_rps
+
+let render_saturation points =
+  let b = Buffer.create 256 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "%12s %12s %9s %6s %9s %9s\n" "offered/s" "achieved/s" "complete" "shed"
+    "p50 us" "p99 us";
+  List.iter
+    (fun p ->
+      pf "%12.0f %12.0f %9d %6d %9.1f %9.1f\n" p.sat_offered_rps
+        p.sat_achieved_rps p.sat_completed p.sat_shed p.sat_p50_us p.sat_p99_us)
+    points;
+  Buffer.contents b

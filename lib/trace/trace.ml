@@ -105,6 +105,17 @@ let end_span t ~now id =
   | Some sp when sp.sp_stop = None -> sp.sp_stop <- Some now
   | _ -> ()
 
+(* Record a span whose extent is already known — the retrospective form
+   used for intervals measured by the caller (queue waits, lock waits). *)
+let complete_span t ~start ~stop ?parent ?txn ~track ~cat ~name ?(args = [])
+    () =
+  let id = begin_span t ~now:start ?parent ?txn ~track ~cat ~name () in
+  (match Hashtbl.find_opt t.by_id id with
+  | Some sp -> sp.sp_args <- List.rev args
+  | None -> ());
+  end_span t ~now:stop id;
+  id
+
 let add_arg t id key v =
   match Hashtbl.find_opt t.by_id id with
   | Some sp -> sp.sp_args <- (key, v) :: sp.sp_args
@@ -166,6 +177,11 @@ let observe_hist t name ~bucket_width x =
         h
   in
   S.record h x
+
+let series_quantile t name ~q =
+  match Hashtbl.find_opt t.series name with
+  | None -> None
+  | Some s -> S.quantile_opt s ~q
 
 let series_quantiles t name =
   match Hashtbl.find_opt t.series name with

@@ -53,6 +53,23 @@ val end_span : t -> now:int -> int -> unit
 (** Close a span. Closing an unknown or already-closed span id is ignored
     (fault paths may race a completion against a retry). *)
 
+val complete_span :
+  t ->
+  start:int ->
+  stop:int ->
+  ?parent:int ->
+  ?txn:int ->
+  track:string ->
+  cat:string ->
+  name:string ->
+  ?args:(string * arg) list ->
+  unit ->
+  int
+(** Record a span whose extent is already known when it is reported — the
+    retrospective form for intervals measured by the caller, e.g. the
+    queue-wait a request accumulated before the runtime saw it. Equivalent
+    to {!begin_span} at [start] immediately closed at [stop]. *)
+
 val add_arg : t -> int -> string -> arg -> unit
 (** Attach a key/value to an open or closed span (e.g. the fault-ledger id
     that explains a retry). Unknown ids are ignored. *)
@@ -92,6 +109,10 @@ val observe_hist : t -> string -> bucket_width:float -> float -> unit
 
 val series_quantiles : t -> string -> (float * float * float) option
 (** (p50, p95, p99) of a named series; [None] if absent or empty. *)
+
+val series_quantile : t -> string -> q:float -> float option
+(** Arbitrary quantile of a named series (e.g. the p99.9 a serving SLO
+    report needs); [None] if absent or empty. *)
 
 (** {1 Well-formedness} *)
 
