@@ -571,6 +571,74 @@ let ablation_serve () =
     r.Serve.r_tenants
 
 (* ------------------------------------------------------------------ *)
+(* sim-speed: interpreter throughput baseline for the future compiled  *)
+(* simulator backend (ROADMAP). The compiled backend must beat these   *)
+(* numbers; they are archived to BENCH_simspeed.json so re-anchors can *)
+(* see the trajectory.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let simspeed_designs () =
+  let kernel_of (config : Beethoven.Config.t) =
+    match
+      List.filter_map
+        (fun s -> s.Beethoven.Config.kernel_circuit)
+        config.Beethoven.Config.systems
+    with
+    | c :: _ -> c
+    | [] -> failwith "simspeed: design has no RTL-DSL kernel"
+  in
+  let deep =
+    let open Hw.Signal in
+    let x = input "x" 32 in
+    let acc = ref x in
+    for _ = 1 to 256 do
+      acc := !acc +: x
+    done;
+    Hw.Circuit.create ~name:"adder-chain-256" ~outputs:[ ("o", !acc) ]
+  in
+  [
+    ("a3-rtl", kernel_of (Attention.A3_rtl_core.config ~n_cores:1 ()));
+    ("vecadd-rtl", kernel_of (Kernels.Vecadd_rtl.config ~n_cores:1 ()));
+    ("adder-chain-256", deep);
+  ]
+
+let sim_speed () =
+  header "sim-speed"
+    "Hw.Cyclesim interpreter throughput on the RTL-DSL kernels (cycles/sec)";
+  let cycles = 5_000 in
+  let rows =
+    List.map
+      (fun (name, c) ->
+        let lv = Hw.Levelize.of_circuit c in
+        let sim = Hw.Cyclesim.create c in
+        (* settle once so first-evaluation allocation is off the clock *)
+        Hw.Cyclesim.settle sim;
+        let t0 = Sys.time () in
+        for _ = 1 to cycles do
+          Hw.Cyclesim.step sim
+        done;
+        let dt = Float.max (Sys.time () -. t0) 1e-6 in
+        let cps = float_of_int cycles /. dt in
+        Printf.printf "  %-18s %5d node(s), depth %3d: %10.0f cycles/sec\n"
+          name (Hw.Levelize.n_nodes lv) (Hw.Levelize.comb_depth lv) cps;
+        (name, Hw.Levelize.n_nodes lv, Hw.Levelize.comb_depth lv, dt, cps))
+      (simspeed_designs ())
+  in
+  let oc = open_out "BENCH_simspeed.json" in
+  output_string oc
+    "{\"experiment\":\"sim-speed\",\"backend\":\"interpreter\",\"designs\":[";
+  List.iteri
+    (fun i (name, nodes, depth, dt, cps) ->
+      if i > 0 then output_string oc ",";
+      Printf.fprintf oc
+        "{\"design\":\"%s\",\"nodes\":%d,\"comb_depth\":%d,\"cycles\":%d,\"seconds\":%.6f,\"cycles_per_sec\":%.0f}"
+        name nodes depth cycles dt cps)
+    rows;
+  output_string oc "]}\n";
+  close_out oc;
+  Printf.printf "  archived to BENCH_simspeed.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing of the experiment kernels                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -645,6 +713,7 @@ let experiments =
     ("a3-rtl", ablation_a3_rtl);
     ("trace", ablation_trace);
     ("serve", ablation_serve);
+    ("sim-speed", sim_speed);
   ]
 
 let () =

@@ -110,7 +110,15 @@ let run design platform n_cores emit out_dir =
 
 (* ---- lint subcommand: run Check/Lint over bundled designs ---- *)
 
-let lint design platform n_cores json werror waived =
+let lint design platform n_cores json format werror waived =
+  let json =
+    match format with
+    | "json" -> true
+    | "text" -> json
+    | other ->
+        Printf.eprintf "unknown format %S (text, json)\n" other;
+        exit 2
+  in
   let plat =
     match List.assoc_opt platform platforms with
     | Some p -> p
@@ -186,8 +194,13 @@ let lint_design_arg =
   Arg.(value & opt string "all" & info [ "design"; "d" ] ~docv:"NAME" ~doc)
 
 let json_arg =
-  let doc = "Emit diagnostics as JSON instead of text." in
+  let doc = "Emit diagnostics as JSON instead of text (same as $(b,--format json))." in
   Arg.(value & flag & info [ "json" ] ~doc)
+
+let diag_format_arg =
+  let doc = "Output format: $(b,text) or $(b,json) (machine-readable, one \
+             object per diagnostic with rule/severity/loc/message/hint)." in
+  Arg.(value & opt string "text" & info [ "format"; "f" ] ~docv:"FMT" ~doc)
 
 let werror_arg =
   let doc = "Treat warnings as errors." in
@@ -196,6 +209,137 @@ let werror_arg =
 let waive_arg =
   let doc = "Suppress a rule by id (repeatable), e.g. $(b,--waive async-read-mapping)." in
   Arg.(value & opt_all string [] & info [ "waive"; "w" ] ~docv:"RULE" ~doc)
+
+(* ---- sta subcommand: static timing over bundled RTL-DSL kernels ---- *)
+
+let sta_run design platform n_cores model format =
+  let model =
+    match model with
+    | "unit" -> Hw.Sta.Unit
+    | "typical" -> Hw.Sta.Typical
+    | other ->
+        Printf.eprintf "unknown delay model %S (unit, typical)\n" other;
+        exit 2
+  in
+  let plat =
+    match List.assoc_opt platform platforms with
+    | Some p -> p
+    | None ->
+        Printf.eprintf "unknown platform %S (available: %s)\n" platform
+          (String.concat ", " (List.map fst platforms));
+        exit 2
+  in
+  let selected =
+    if design = "all" then designs
+    else
+      match List.assoc_opt design designs with
+      | Some f -> [ (design, f) ]
+      | None ->
+          Printf.eprintf "unknown design %S (available: all, %s)\n" design
+            (String.concat ", " (List.map fst designs));
+          exit 2
+  in
+  let tax = plat.Platform.Device.noc.Noc.Params.slr_crossing_latency_cycles in
+  let per_design =
+    List.map
+      (fun (name, config_of) ->
+        let config = config_of n_cores in
+        let reports =
+          List.map
+            (fun (sys, c) ->
+              (sys, Hw.Sta.of_circuit ~model c))
+            (List.filter_map
+               (fun (s : Beethoven.Config.system) ->
+                 Option.map
+                   (fun c -> (s.Beethoven.Config.sys_name, c))
+                   s.Beethoven.Config.kernel_circuit)
+               config.Beethoven.Config.systems)
+        in
+        (name, reports))
+      selected
+  in
+  match format with
+  | "json" ->
+      let design_json (name, reports) =
+        Printf.sprintf "{\"design\":\"%s\",\"systems\":[%s]}" name
+          (String.concat ","
+             (List.map
+                (fun (sys, r) ->
+                  Printf.sprintf "{\"system\":\"%s\",\"sta\":%s}" sys
+                    (Hw.Sta.to_json r))
+                reports))
+      in
+      Printf.printf
+        "{\"platform\":\"%s\",\"slr_crossing_tax\":%d,\"budget\":%d,\"designs\":[%s]}\n"
+        platform tax Beethoven.Check.default_sta_budget
+        (String.concat "," (List.map design_json per_design))
+  | "text" ->
+      List.iter
+        (fun (name, reports) ->
+          match reports with
+          | [] -> Printf.printf "%s: no RTL-DSL kernels\n" name
+          | _ ->
+              Printf.printf "%s:\n" name;
+              List.iter
+                (fun (sys, r) ->
+                  Printf.printf "%s"
+                    (Hw.Sta.render { r with Hw.Sta.r_circuit = sys ^ "/" ^ r.Hw.Sta.r_circuit }))
+                reports)
+        per_design;
+      Printf.printf
+        "(budget %d, SLR-crossing tax %d on %s; drc-sta-slr-path enforces \
+         budget - tax x crossings per placed core)\n"
+        Beethoven.Check.default_sta_budget tax platform
+  | other ->
+      Printf.eprintf "unknown format %S (text, json)\n" other;
+      exit 2
+
+let sta_design_arg =
+  let doc =
+    "Design to analyze, or $(b,all): "
+    ^ String.concat ", " (List.map fst designs)
+  in
+  Arg.(value & opt string "all" & info [ "design"; "d" ] ~docv:"NAME" ~doc)
+
+let sta_model_arg =
+  let doc =
+    "Delay model: $(b,typical) (per-primitive-kind delays) or $(b,unit) \
+     (every primitive costs 1, so max delay = combinational depth)."
+  in
+  Arg.(value & opt string "typical" & info [ "model"; "m" ] ~docv:"MODEL" ~doc)
+
+let exit_status_man =
+  [
+    `S Manpage.s_exit_status;
+    `P "$(b,0) on a clean run (no error-severity diagnostics).";
+    `P "$(b,1) when any error-severity diagnostic remains after waivers.";
+    `P "$(b,2) on usage errors: unknown design, platform, format or model.";
+  ]
+
+let sta_cmd =
+  let doc = "static timing analysis over bundled RTL-DSL kernels" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Levelizes every RTL-DSL kernel circuit of the selected bundled \
+         design(s) ($(b,Hw.Levelize)) and reports the $(b,Hw.Sta) \
+         estimate: combinational depth, worst path under the chosen delay \
+         model (per-node kinds and arrival times), per-output depth table \
+         and fanout hotspots. $(b,--format json) emits one stable line of \
+         JSON (schema shared with $(b,lint --format json)) suitable for \
+         byte-comparison across runs; the $(b,@sta) dune alias does \
+         exactly that. The same estimate, taxed with the platform's \
+         SLR-crossing penalty for cores placed off the shell die, is \
+         enforced as the $(b,drc-sta-slr-path) design rule by $(b,lint).";
+    ]
+    @ exit_status_man
+  in
+  Cmd.v
+    (Cmd.info "sta" ~doc ~man)
+    Term.(
+      const sta_run $ sta_design_arg $ platform_arg $ cores_arg $ sta_model_arg
+      $ diag_format_arg)
 
 (* ---- fault-campaign subcommand: seeded fault injection on memcpy ---- *)
 
@@ -527,8 +671,10 @@ let lint_cmd =
       `P
         "Runs $(b,Beethoven.Check) (composer design rules) and \
          $(b,Hw.Lint) (netlist rules, for RTL-DSL kernels) over bundled \
-         designs. Exits 1 when any error-severity diagnostic remains \
-         after waivers.";
+         designs. $(b,--format json) prints the diagnostics as one stable \
+         line of JSON (objects with rule/severity/loc/message/hint plus \
+         per-severity counts, the same schema $(b,sta --format json) \
+         uses).";
       `S "RULES";
       `P
         (String.concat "; "
@@ -539,16 +685,18 @@ let lint_cmd =
                   why)
               (Beethoven.Check.rules @ Hw.Lint.rules)));
     ]
+    @ exit_status_man
   in
   Cmd.v
     (Cmd.info "lint" ~doc ~man)
     Term.(
       const lint $ lint_design_arg $ platform_arg $ cores_arg $ json_arg
-      $ werror_arg $ waive_arg)
+      $ diag_format_arg $ werror_arg $ waive_arg)
 
 let cmd =
   let doc = "compose a Beethoven accelerator system and emit its artifacts" in
   let info = Cmd.info "beethoven_gen" ~version:"1.0" ~doc in
-  Cmd.group ~default:gen_term info [ lint_cmd; fault_cmd; trace_cmd; serve_cmd ]
+  Cmd.group ~default:gen_term info
+    [ lint_cmd; sta_cmd; fault_cmd; trace_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval cmd)

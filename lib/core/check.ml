@@ -29,6 +29,10 @@ let rules =
     ( "drc-floorplan",
       Diag.Error,
       "every core must fit on some SLR after the shell and reserves" );
+    ( "drc-sta-slr-path",
+      Diag.Error,
+      "estimated worst logic path plus the SLR-crossing tax must fit the \
+       depth budget (warning on-die, error across dies)" );
   ]
 
 let err ?loc ?hint rule msg =
@@ -327,6 +331,68 @@ let floorplan_feasibility (config : Config.t) (p : D.t) =
           "drc-floorplan" m;
       ]
 
+(* ---- static timing over RTL-DSL kernels ---- *)
+
+(* Worst-path budget in Sta "levels of logic". Calibrated against the
+   bundled kernels: the deepest (the 64-lane reduction in a3-rtl) sits
+   well under it even after the cross-SLR tax on aws_f1, while an
+   unpipelined long chain (hundreds of chained adds) blows through it. *)
+let default_sta_budget = 256
+
+let sta (config : Config.t) =
+  List.filter_map
+    (fun (sys : Config.system) ->
+      Option.map
+        (fun c -> (sys.Config.sys_name, Hw.Sta.of_circuit c))
+        sys.Config.kernel_circuit)
+    config.Config.systems
+
+let sta_paths ?(budget = default_sta_budget) (config : Config.t) (p : D.t) =
+  (* placement infeasibility is drc-floorplan's report, not ours *)
+  match Floorplan.place config p with
+  | exception (Failure _ | Invalid_argument _) -> []
+  | fp ->
+      let tax = p.D.noc.Noc.Params.slr_crossing_latency_cycles in
+      List.concat_map
+        (fun (sys : Config.system) ->
+          match sys.Config.kernel_circuit with
+          | None -> []
+          | Some c ->
+              let r = Hw.Sta.of_circuit c in
+              (* the frontend (command/memory roots) lives with the shell
+                 on SLR 0; a core placed n dies away pays the crossing
+                 penalty on every path to it *)
+              let crossings =
+                let worst = ref 0 in
+                for core = 0 to sys.Config.n_cores - 1 do
+                  worst :=
+                    max !worst
+                      (abs
+                         (Floorplan.slr_of fp ~system:sys.Config.sys_name
+                            ~core))
+                done;
+                !worst
+              in
+              let taxed = r.Hw.Sta.r_max_delay + (tax * crossings) in
+              if taxed <= budget then []
+              else
+                let loc = config.Config.acc_name ^ "." ^ sys.Config.sys_name in
+                let msg =
+                  Printf.sprintf
+                    "worst path of kernel %S is %d (delay %d + %d SLR \
+                     crossing(s) x %d), over the budget of %d"
+                    (Hw.Circuit.name c) taxed r.Hw.Sta.r_max_delay crossings
+                    tax budget
+                in
+                let hint =
+                  "pipeline the kernel (cut the worst path with registers) \
+                   or keep its cores on the shell SLR"
+                in
+                if crossings > 0 then
+                  [ err ~loc ~hint "drc-sta-slr-path" msg ]
+                else [ warn ~loc ~hint "drc-sta-slr-path" msg ])
+        config.Config.systems
+
 let kernel_lints (config : Config.t) (_p : D.t) =
   let lutram_max_bits = FM.lutram_max_bits in
   List.concat_map
@@ -346,7 +412,7 @@ let kernel_lints (config : Config.t) (_p : D.t) =
             (Hw.Lint.circuit ~lutram_max_bits c))
     config.Config.systems
 
-let run ?(lint_kernels = true) (config : Config.t) (p : D.t) =
+let run ?(lint_kernels = true) ?sta_budget (config : Config.t) (p : D.t) =
   let structural = structure config in
   let mapping =
     (* capacity / placement checks assume a structurally sound config *)
@@ -355,6 +421,7 @@ let run ?(lint_kernels = true) (config : Config.t) (p : D.t) =
       axi_capacity config p
       @ scratchpad_capacity config p
       @ floorplan_feasibility config p
+      @ sta_paths ?budget:sta_budget config p
   in
   let lint = if lint_kernels then kernel_lints config p else [] in
   structural @ mapping @ lint

@@ -30,6 +30,13 @@
       on ASIC targets, requests the SRAM compiler cannot realize (error).
     - [drc-floorplan] (error) — the placement pre-check: some core fits
       on no SLR.
+    - [drc-sta-slr-path] (warning/error) — the {!Hw.Sta} worst-path
+      estimate of an RTL-DSL kernel, taxed with the platform NoC's
+      SLR-crossing penalty for every die between the core's placement
+      ({!Floorplan.slr_of}) and the shell on SLR 0, exceeds the depth
+      budget. On-die overruns warn; a path that additionally crosses
+      dies errors — exactly the paths the paper's floorplanner exists to
+      keep short.
 
     Kernel circuits attached to systems are additionally run through
     {!Hw.Lint.circuit} (with the platform's LUTRAM budget), and those
@@ -40,8 +47,21 @@ val rules : (string * Hw.Diag.severity * string) list
 (** (rule id, default severity, one-line rationale) for the DRC-level
     rules; lint rule ids are documented in {!Hw.Lint.rules}. *)
 
+val default_sta_budget : int
+(** Default worst-path budget (in {!Hw.Sta} delay units) for
+    [drc-sta-slr-path]. *)
+
+val sta : Config.t -> (string * Hw.Sta.report) list
+(** Per-system {!Hw.Sta} reports for every system carrying an RTL-DSL
+    kernel circuit (the [beethoven_gen sta] backend). *)
+
 val run :
-  ?lint_kernels:bool -> Config.t -> Platform.Device.t -> Hw.Diag.t list
+  ?lint_kernels:bool ->
+  ?sta_budget:int ->
+  Config.t ->
+  Platform.Device.t ->
+  Hw.Diag.t list
 (** Run every design rule. [lint_kernels] (default [true]) controls the
-    per-system netlist lint pass. The result is unfiltered: apply
+    per-system netlist lint pass; [sta_budget] overrides
+    {!default_sta_budget}. The result is unfiltered: apply
     {!Hw.Diag.waive} / {!Hw.Diag.promote_warnings} for policy. *)

@@ -13,6 +13,7 @@ type t = {
   beethoven_total : R.t;
   grand_total : R.t;
   sram_plans : (string * Platform.Sram.plan) list;
+  sta : (string * Hw.Sta.report) list;
 }
 
 (* Flattened (system, core) list in config order. *)
@@ -150,6 +151,7 @@ let elaborate ?(checks = true) (config : Config.t)
     beethoven_total;
     grand_total;
     sram_plans;
+    sta = Check.sta config;
   }
 
 let cmd_endpoint t ~system ~core = cmd_ep_id t.config ~system ~core
@@ -237,4 +239,10 @@ let summary t =
     (fun (name, plan) ->
       pr "  SRAM %s: %s\n" name (Platform.Sram.describe plan))
     t.sram_plans;
+  List.iter
+    (fun (sys, r) ->
+      pr "  kernel %s: %d node(s), comb depth %d, max delay %d (%s model)\n"
+        sys r.Hw.Sta.r_nodes r.Hw.Sta.r_comb_depth r.Hw.Sta.r_max_delay
+        (Hw.Sta.model_name r.Hw.Sta.r_model))
+    t.sta;
   Buffer.contents buf

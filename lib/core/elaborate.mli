@@ -22,6 +22,9 @@ type t = {
   beethoven_total : Platform.Resources.t;  (** everything except the shell *)
   grand_total : Platform.Resources.t;  (** including the shell *)
   sram_plans : (string * Platform.Sram.plan) list;  (** ASIC targets *)
+  sta : (string * Hw.Sta.report) list;
+      (** per-system static timing reports for RTL-DSL kernels
+          ({!Check.sta}) *)
 }
 
 val elaborate : ?checks:bool -> Config.t -> Platform.Device.t -> t

@@ -215,6 +215,42 @@ let stats t =
   let mem_bits =
     List.fold_left (fun acc m -> acc + (mem_size m * mem_width m)) 0 t.memories
   in
+  (* comb depth and max fanout, same definitions as Levelize (which cannot
+     be called from here — it lives above Circuit); test_lint asserts the
+     two stay in agreement *)
+  let level = Hashtbl.create 256 in
+  let comb_depth =
+    List.fold_left
+      (fun acc s ->
+        let l =
+          List.fold_left
+            (fun m d -> max m (1 + Hashtbl.find level (uid d)))
+            0 (comb_deps s)
+        in
+        Hashtbl.add level (uid s) l;
+        max acc l)
+      0 t.topo
+  in
+  let fanout = Hashtbl.create 256 in
+  let load s =
+    Hashtbl.replace fanout (uid s)
+      (1 + Option.value ~default:0 (Hashtbl.find_opt fanout (uid s)))
+  in
+  List.iter
+    (fun s ->
+      List.iter load (comb_deps s);
+      List.iter load (seq_deps s))
+    t.topo;
+  List.iter
+    (fun m ->
+      List.iter
+        (fun wp ->
+          load wp.wp_enable;
+          load wp.wp_addr;
+          load wp.wp_data)
+        (mem_write_ports m))
+    t.memories;
+  let max_fanout = Hashtbl.fold (fun _ n acc -> max n acc) fanout 0 in
   [
     ("nodes", List.length t.topo);
     ("registers", List.length t.registers);
@@ -223,4 +259,6 @@ let stats t =
     ("memory_bits", mem_bits);
     ("inputs", List.length t.inputs);
     ("outputs", List.length t.outputs);
+    ("comb_depth", comb_depth);
+    ("max_fanout", max_fanout);
   ]

@@ -35,7 +35,8 @@ val sync_reads : t -> Signal.t list
 
 val stats : t -> (string * int) list
 (** Node-count statistics: regs, memories, total nodes, etc. (used by the
-    resource estimator). *)
+    resource estimator), plus ["comb_depth"] and ["max_fanout"] computed
+    with the same definitions as {!Levelize}. *)
 
 (** {1 Graph introspection (used by {!Lint} and the back-ends)} *)
 

@@ -1,0 +1,64 @@
+(** Levelized view of a {!Circuit}: every node of the netlist flattened
+    into one array in level order, with integer-slot dependency edges and
+    fanout counts.
+
+    Level 0 holds the sources — constants, inputs, registers and
+    synchronous memory reads (whose current-cycle value depends on state,
+    not on combinational fan-in). A node sits at level [n] when every
+    combinational dependency sits at a level strictly below [n]
+    (specifically [1 + max (level deps)]). Within a level, nodes are
+    ordered by uid, so the layout is a deterministic function of the
+    circuit alone.
+
+    This array is the contract for the ROADMAP's compiled-simulator item:
+    a backend can evaluate slot [0..n) in order (dependencies always
+    resolve to lower slots), or evaluate each level's slice in parallel,
+    over preallocated value arrays indexed by slot — no hashing, no
+    pointer chasing. {!Dataflow} and {!Sta} already run over it. *)
+
+type node = {
+  n_slot : int;  (** index of this node in {!nodes} *)
+  n_signal : Signal.t;
+  n_level : int;
+  n_deps : int array;
+      (** slots of the combinational dependencies, in {!Circuit.comb_deps}
+          order; every entry is [< n_slot] *)
+  n_fanout : int;
+      (** number of loads: combinational consumers, sequential-element
+          inputs (register d/enable/clear, sync-read address/enable) and
+          memory write-port references, counting one per reference *)
+}
+
+type t
+
+val of_circuit : Circuit.t -> t
+
+val circuit : t -> Circuit.t
+val nodes : t -> node array
+(** Level-major, uid-minor order. Do not mutate. *)
+
+val n_nodes : t -> int
+val n_levels : t -> int
+(** Number of distinct levels ([comb_depth + 1]); at least 1 for any
+    well-formed circuit. *)
+
+val comb_depth : t -> int
+(** Highest level = length of the longest combinational dependency
+    chain. 0 for a circuit of sources only. *)
+
+val level_slice : t -> int -> int * int
+(** [(first_slot, count)] of a level's contiguous slice of {!nodes}. *)
+
+val node_of : t -> Signal.t -> node
+(** Raises [Not_found] for signals outside the circuit. *)
+
+val slot_of : t -> Signal.t -> int
+val level_of : t -> Signal.t -> int
+val fanout_of : t -> Signal.t -> int
+
+val max_fanout : t -> int
+(** Largest fanout of any node (0 for a single-node circuit). *)
+
+val hotspots : t -> n:int -> node list
+(** The [n] highest-fanout nodes, fanout descending, ties by uid
+    ascending — the nets replication/pipelining should look at first. *)

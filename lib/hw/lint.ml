@@ -32,6 +32,25 @@ let rules =
     ( "const-foldable",
       Diag.Info,
       "constant subtrees waste nodes; Hw.Opt.constant_fold removes them" );
+    ( "read-before-init",
+      Diag.Warning,
+      "an uninitialized memory read (X under 4-state semantics) reaches an \
+       output or a write enable" );
+    ( "const-output",
+      Diag.Warning,
+      "an output is provably constant on every cycle for every input" );
+    ( "dead-mux-arm",
+      Diag.Warning,
+      "a mux selector is provably constant, so the other arms are \
+       unreachable" );
+    ( "redundant-reset",
+      Diag.Info,
+      "a register's data input provably equals its reset value, so the \
+       clear term does nothing" );
+    ( "dataflow-opt-divergence",
+      Diag.Error,
+      "Hw.Opt and Hw.Dataflow disagree about a constant output — a \
+       soundness bug in one of the analyses" );
   ]
 
 let default_lutram_max_bits = 1024
@@ -247,10 +266,14 @@ let fold_rule c =
     ]
   else []
 
+let dataflow_rules c =
+  let df = Dataflow.run (Levelize.of_circuit c) in
+  Dataflow.lint df @ Dataflow.crosscheck df
+
 let circuit ?(lutram_max_bits = default_lutram_max_bits) c =
   mux_rules c
   @ memory_rules ~lutram_max_bits c
-  @ naming_rules c @ fold_rule c
+  @ naming_rules c @ fold_rule c @ dataflow_rules c
 
 (* ---- dead logic: needs the set of constructed signals ---- *)
 

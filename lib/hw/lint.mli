@@ -33,7 +33,23 @@
     - [unnamed-state] (info) — unnamed registers / auto-named memories,
       which degrade VCD and generated-Verilog readability.
     - [const-foldable] (info) — constant folding ({!Opt.constant_fold})
-      would shrink the netlist. *)
+      would shrink the netlist.
+
+    Value-aware rules, computed by {!Dataflow}'s abstract interpretation
+    over the {!Levelize}d netlist:
+
+    - [read-before-init] (warning) — an uninitialized memory read (X
+      under 4-state semantics) may reach an output or a write enable.
+    - [const-output] (warning) — an output that is not syntactically a
+      constant is provably constant on every cycle for every input.
+    - [dead-mux-arm] (warning) — a mux selector is provably constant, so
+      every other arm is unreachable logic.
+    - [redundant-reset] (info) — a register's data input provably equals
+      its reset value, making the clear term a no-op.
+    - [dataflow-opt-divergence] (error) — {!Opt.constant_fold} and
+      {!Dataflow} disagree about a constant output; never fires on a
+      correct build (it is a differential soundness check of the two
+      analyses, kept in the catalog so a regression in either is loud). *)
 
 val rules : (string * Diag.severity * string) list
 (** (rule id, default severity, one-line rationale) for every rule this

@@ -7,6 +7,11 @@
     dead-code elimination. The transformed circuit is observationally
     identical: same ports, same cycle-by-cycle behaviour. *)
 
+val eval_op2 : Signal.op2 -> Bits.t -> Bits.t -> Bits.t
+(** Evaluate a binary operator on constant operands — the single source of
+    truth shared by the folder, {!Dataflow}'s transfer functions and
+    {!Cyclesim}-agreement tests. *)
+
 val constant_fold : Circuit.t -> Circuit.t
 (** Rebuild the circuit with constants propagated. *)
 

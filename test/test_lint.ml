@@ -165,8 +165,202 @@ let test_rule_catalog () =
       "undriven-wire"; "comb-loop"; "dup-output-port"; "no-outputs";
       "input-width-conflict"; "dead-logic"; "mux-sel-wide";
       "async-read-mapping"; "mem-addr-wide"; "write-port-overlap";
-      "unnamed-state"; "const-foldable";
+      "unnamed-state"; "const-foldable"; "read-before-init"; "const-output";
+      "dead-mux-arm"; "redundant-reset"; "dataflow-opt-divergence";
     ]
+
+(* ---- value-aware rules: Hw.Dataflow over Hw.Levelize ---- *)
+
+module Levelize = Hw.Levelize
+module Dataflow = Hw.Dataflow
+module Sta = Hw.Sta
+module Cyclesim = Hw.Cyclesim
+
+let test_read_before_init () =
+  (* a memory the circuit never writes can never be initialized by it *)
+  let rom = Mem.create ~name:"rom" ~size:16 ~width:8 () in
+  let ds =
+    Lint.graph ~name:"t" [ ("o", Mem.read_async rom ~addr:(input "a" 4)) ]
+  in
+  check_has_rule "read-before-init" ds;
+  (* a memory with a defined write port is assumed initialized by it *)
+  let ram = Mem.create ~name:"ram" ~size:16 ~width:8 () in
+  Mem.write ram ~enable:(input "we" 1) ~addr:(input "wa" 4)
+    ~data:(input "wd" 8);
+  let ds2 =
+    Lint.graph ~name:"t" [ ("o", Mem.read_async ram ~addr:(input "a" 4)) ]
+  in
+  check_bool "written memory reads are defined" false
+    (has_rule "read-before-init" ds2);
+  (* the constant mask: x & 0 is 0 whatever x was *)
+  let rom2 = Mem.create ~name:"rom2" ~size:16 ~width:8 () in
+  let ds3 =
+    Lint.graph ~name:"t"
+      [ ("o", Mem.read_async rom2 ~addr:(input "a" 4) &: zero 8) ]
+  in
+  check_bool "constant-masked X is defined" false
+    (has_rule "read-before-init" ds3)
+
+let test_read_before_init_write_enable () =
+  (* an X-derived write enable can corrupt arbitrary addresses *)
+  let rom = Mem.create ~name:"rom" ~size:16 ~width:8 () in
+  let tainted = bit (Mem.read_async rom ~addr:(input "ra" 4)) 0 in
+  let ram = Mem.create ~name:"ram" ~size:16 ~width:8 () in
+  Mem.write ram ~enable:tainted ~addr:(input "wa" 4) ~data:(input "wd" 8);
+  let ds =
+    Lint.graph ~name:"t" [ ("o", Mem.read_sync ram ~addr:(input "a" 4) ()) ]
+  in
+  check_has_rule "read-before-init" ds
+
+let test_const_output () =
+  (* all arms equal: stronger than Opt's folder, which needs a const sel *)
+  let c7 = of_int ~width:8 7 in
+  let ds = Lint.graph ~name:"t" [ ("o", mux2 (input "s" 1) c7 c7) ] in
+  check_has_rule "const-output" ds;
+  (* a literal constant output is deliberate, not a bug *)
+  let ds2 = Lint.graph ~name:"t" [ ("o", of_int ~width:8 7) ] in
+  check_bool "literal constant output not flagged" false
+    (has_rule "const-output" ds2);
+  (* an input-driven output is not constant *)
+  let ds3 = Lint.graph ~name:"t" [ ("o", input "x" 8) ] in
+  check_bool "input-driven output not flagged" false
+    (has_rule "const-output" ds3)
+
+let test_dead_mux_arm () =
+  (* selector provably 0 without being syntactically a constant *)
+  let sel = input "s" 1 &: gnd in
+  let ds =
+    Lint.graph ~name:"t" [ ("o", mux2 sel (input "x" 8) (input "y" 8)) ]
+  in
+  check_has_rule "dead-mux-arm" ds;
+  let ds2 =
+    Lint.graph ~name:"t"
+      [ ("o", mux2 (input "s2" 1) (input "x" 8) (input "y" 8)) ]
+  in
+  check_bool "live mux not flagged" false (has_rule "dead-mux-arm" ds2)
+
+let test_redundant_reset () =
+  let q = reg ~clear:(input "clr" 1) ~init:(Bits.zero 8) (zero 8) -- "q" in
+  let ds = Lint.graph ~name:"t" [ ("o", q |: input "m" 8) ] in
+  check_has_rule "redundant-reset" ds;
+  check_bool "redundant-reset is info severity" true
+    (List.for_all
+       (fun (d : Diag.t) ->
+         d.Diag.rule <> "redundant-reset" || d.Diag.severity = Diag.Info)
+       ds);
+  (* a register whose data can differ from init needs its reset *)
+  let q2 = reg ~clear:(input "clr2" 1) ~init:(Bits.zero 8) (input "d" 8) in
+  let ds2 = Lint.graph ~name:"t" [ ("o", q2) ] in
+  check_bool "useful reset not flagged" false (has_rule "redundant-reset" ds2)
+
+let test_dataflow_values () =
+  let x = input "x" 8 in
+  let held = reg ~init:(Bits.of_int ~width:8 5) (of_int ~width:8 5) -- "held" in
+  let counter =
+    reg_fb ~width:8 (fun q -> q +: of_int ~width:8 1) -- "ctr"
+  in
+  let c =
+    Hw.Circuit.create ~name:"df"
+      ~outputs:[ ("held", held); ("ctr", counter); ("x", x) ]
+  in
+  let df = Dataflow.run (Levelize.of_circuit c) in
+  check_bool "reg holding its init is Const" true
+    (match Dataflow.value_of df held with
+    | Dataflow.Const b -> Bits.to_int b = 5
+    | _ -> false);
+  check_bool "counter is Top (value varies across cycles)" true
+    (Dataflow.value_of df counter = Dataflow.Top);
+  check_bool "input is Top" true (Dataflow.value_of df x = Dataflow.Top);
+  check_bool "no X without memories (registers always have init)" true
+    (List.for_all
+       (fun s -> not (Dataflow.is_x df s))
+       (Hw.Circuit.signals_in_topo_order c))
+
+(* ---- Hw.Levelize ---- *)
+
+let test_levelize_basic () =
+  let a = input "a" 8 and b = input "b" 8 in
+  let s = (a +: b) -- "s" in
+  let q = reg s -- "q" in
+  let o = s &: q in
+  let c = Hw.Circuit.create ~name:"lv" ~outputs:[ ("o", o) ] in
+  let lv = Levelize.of_circuit c in
+  check_int "n_nodes matches topo"
+    (List.length (Hw.Circuit.signals_in_topo_order c))
+    (Levelize.n_nodes lv);
+  check_int "input is a source" 0 (Levelize.level_of lv a);
+  check_int "reg is a source" 0 (Levelize.level_of lv q);
+  check_int "add above its operands" 1 (Levelize.level_of lv s);
+  check_int "and above the add" 2 (Levelize.level_of lv o);
+  check_int "comb depth" 2 (Levelize.comb_depth lv);
+  (* slices tile the node array in level-major order *)
+  let total = ref 0 in
+  for l = 0 to Levelize.n_levels lv - 1 do
+    let first, count = Levelize.level_slice lv l in
+    check_int (Printf.sprintf "slice %d is contiguous" l) !total first;
+    total := !total + count
+  done;
+  check_int "slices cover every node" (Levelize.n_nodes lv) !total;
+  (* fanout of s: the and (comb) plus the reg's d (seq) *)
+  check_int "fanout counts comb and seq loads" 2 (Levelize.fanout_of lv s);
+  (* hotspots are fanout-descending *)
+  let hs = Levelize.hotspots lv ~n:3 in
+  check_bool "hotspots sorted by fanout" true
+    (let fos = List.map (fun nd -> nd.Levelize.n_fanout) hs in
+     List.sort (fun x y -> compare y x) fos = fos)
+
+let test_stats_levelize_agree () =
+  (* Circuit.stats computes depth/fanout inline (it cannot see Levelize);
+     the two implementations must agree on every bundled kernel *)
+  List.iter
+    (fun (name, (config : C.t)) ->
+      List.iter
+        (fun (sys : C.system) ->
+          match sys.C.kernel_circuit with
+          | None -> ()
+          | Some c ->
+              let lv = Levelize.of_circuit c in
+              let stats = Hw.Circuit.stats c in
+              check_int
+                (name ^ "/" ^ sys.C.sys_name ^ " comb_depth agrees")
+                (Levelize.comb_depth lv)
+                (List.assoc "comb_depth" stats);
+              check_int
+                (name ^ "/" ^ sys.C.sys_name ^ " max_fanout agrees")
+                (Levelize.max_fanout lv)
+                (List.assoc "max_fanout" stats))
+        config.C.systems)
+    [
+      ("a3-rtl", Attention.A3_rtl_core.config ~n_cores:1 ());
+      ("vecadd-rtl", Kernels.Vecadd_rtl.config ~n_cores:1 ());
+    ]
+
+(* ---- Hw.Sta ---- *)
+
+let deep_chain_circuit n =
+  let x = input "x" 32 in
+  let acc = ref x in
+  for _ = 1 to n do
+    acc := !acc +: x
+  done;
+  Hw.Circuit.create ~name:"deep" ~outputs:[ ("o", !acc) ]
+
+let test_sta_report () =
+  let c = deep_chain_circuit 10 in
+  let r = Sta.of_circuit c in
+  check_int "10 chained adds at 2 per add" 20 r.Sta.r_max_delay;
+  check_int "comb depth counts the chain" 10 r.Sta.r_comb_depth;
+  check_int "unit model max delay = comb depth" r.Sta.r_comb_depth
+    (Sta.of_circuit ~model:Sta.Unit c).Sta.r_max_delay;
+  let arrivals = List.map (fun pn -> pn.Sta.pn_arrival) r.Sta.r_worst_path in
+  check_bool "worst-path arrivals are monotone" true
+    (List.sort compare arrivals = arrivals);
+  check_int "worst path ends at the max delay" r.Sta.r_max_delay
+    (List.nth arrivals (List.length arrivals - 1));
+  check_int "per-output table covers every output" 1
+    (List.length r.Sta.r_outputs);
+  check_string "report is deterministic" (Sta.to_json r)
+    (Sta.to_json (Sta.of_circuit c))
 
 (* ---- construction-time hardening (the linter's error rules cover what
    construction cannot reject; these cover what it now can) ---- *)
@@ -281,6 +475,106 @@ let prop_random_clean =
          let ds = Lint.graph ~tracked ~name:"rand" outs in
          not (Diag.has_errors ds)))
 
+(* like build_random_circuit, but parameterized over the leaf pool and an
+   optional pipelining pass that registers every other derived node *)
+let build_ops ~pipeline ~pool0 ops =
+  let pool = ref pool0 in
+  let pick i = List.nth !pool (i mod List.length !pool) in
+  List.iteri
+    (fun k (op, i, j) ->
+      let x = pick i and y = pick j in
+      let s =
+        match op with
+        | 0 -> x +: y
+        | 1 -> x -: y
+        | 2 -> x &: y
+        | 3 -> x |: y
+        | 4 -> x ^: y
+        | 5 -> reg x -- Printf.sprintf "qr%d" k
+        | _ -> mux2 (bit x 0) x y
+      in
+      let s =
+        if pipeline && k mod 2 = 1 then reg s -- Printf.sprintf "qp%d" k else s
+      in
+      pool := !pool @ [ s ])
+    ops;
+  List.nth !pool (List.length !pool - 1)
+
+let input_pool () =
+  [ input "a" 8; input "b" 8; of_int ~width:8 5; reg (input "c" 8) -- "rc" ]
+
+(* levelization respects Circuit.comb_deps (every dep strictly lower) and
+   agrees with signals_in_topo_order; the Unit STA model is comb depth *)
+let prop_levelize_respects_deps =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"levelization respects comb deps"
+       (QCheck.make gen_ops)
+       (fun ops ->
+         let o = build_ops ~pipeline:false ~pool0:(input_pool ()) ops in
+         let c = Hw.Circuit.create ~name:"rand" ~outputs:[ ("o", o) ] in
+         let lv = Levelize.of_circuit c in
+         let topo = Hw.Circuit.signals_in_topo_order c in
+         Levelize.n_nodes lv = List.length topo
+         && List.for_all
+              (fun s ->
+                let l = Levelize.level_of lv s in
+                List.for_all
+                  (fun d ->
+                    Levelize.level_of lv d < l
+                    && Levelize.slot_of lv d < Levelize.slot_of lv s)
+                  (Hw.Circuit.comb_deps s))
+              topo
+         && (Sta.analyze ~model:Sta.Unit lv).Sta.r_max_delay
+            = Levelize.comb_depth lv))
+
+(* dataflow soundness: on circuits built only from constants, any output
+   the analysis claims is Const b must simulate to exactly b on every
+   cycle, and the differential check against Opt.constant_fold is clean *)
+let prop_dataflow_agrees_with_cyclesim =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100
+       ~name:"dataflow const-prop agrees with Cyclesim"
+       (QCheck.make gen_ops)
+       (fun ops ->
+         let pool0 =
+           [
+             of_int ~width:8 5; of_int ~width:8 0; of_int ~width:8 255;
+             of_int ~width:8 3;
+           ]
+         in
+         let o = build_ops ~pipeline:false ~pool0 ops in
+         let c = Hw.Circuit.create ~name:"const" ~outputs:[ ("o", o) ] in
+         let df = Dataflow.run (Levelize.of_circuit c) in
+         Dataflow.crosscheck df = []
+         &&
+         match Dataflow.value_of df o with
+         | Dataflow.Top | Dataflow.Bot -> true
+         | Dataflow.Const b ->
+             let sim = Cyclesim.create c in
+             let ok = ref true in
+             for _ = 0 to 7 do
+               Cyclesim.settle sim;
+               if not (Bits.equal (Cyclesim.output sim "o") b) then ok := false;
+               Cyclesim.step sim
+             done;
+             !ok))
+
+(* pipelining only ever cuts combinational paths: registering every other
+   node must never increase the STA worst-path delay *)
+let prop_sta_monotone_pipeline =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100
+       ~name:"STA worst path monotone under pipelining"
+       (QCheck.make gen_ops)
+       (fun ops ->
+         let circuit ~pipeline =
+           let o = build_ops ~pipeline ~pool0:(input_pool ()) ops in
+           Hw.Circuit.create ~name:"p" ~outputs:[ ("o", o) ]
+         in
+         let flat = Sta.of_circuit (circuit ~pipeline:false) in
+         let piped = Sta.of_circuit (circuit ~pipeline:true) in
+         piped.Sta.r_max_delay <= flat.Sta.r_max_delay))
+
 (* ---- composer DRC: seeded configuration defects ---- *)
 
 let cmd ~name ~funct = B.Cmd_spec.make ~name ~funct ~response_bits:32 []
@@ -382,6 +676,40 @@ let test_drc_structural_gates_mapping () =
   check_bool "no mapping diagnostics on structural errors" false
     (has_rule "drc-floorplan" ds)
 
+(* ---- floorplan-aware static timing DRC ---- *)
+
+let test_drc_sta_slr_path () =
+  (* ~600 delay units of chained adders against the default 256 budget *)
+  let deep = deep_chain_circuit 300 in
+  let sys = { (tiny_system "S") with C.kernel_circuit = Some deep } in
+  let ds = drc [ sys ] in
+  check_has_rule "drc-sta-slr-path" ds;
+  (* on a multi-die part the placer steers cores away from the shell die,
+     so the over-budget path also crosses an SLR boundary: error *)
+  check_bool "cross-SLR over-budget path is an error" true
+    (List.exists
+       (fun (d : Diag.t) ->
+         d.Diag.rule = "drc-sta-slr-path" && d.Diag.severity = Diag.Error)
+       ds);
+  (* single-die part: same path, no crossing tax -> warning only *)
+  let ds_kria = drc ~platform:D.kria [ sys ] in
+  check_bool "on-die over-budget path is only a warning" true
+    (List.exists
+       (fun (d : Diag.t) ->
+         d.Diag.rule = "drc-sta-slr-path" && d.Diag.severity = Diag.Warning)
+       ds_kria);
+  check_bool "no error on a single die" false (Diag.has_errors ds_kria);
+  (* a raised budget clears it *)
+  let ds_big = B.Check.run ~sta_budget:10_000 (raw_config [ sys ]) D.aws_f1 in
+  check_bool "raised budget clears the DRC" false
+    (has_rule "drc-sta-slr-path" ds_big);
+  (* a shallow kernel is clean under the default budget *)
+  let ok =
+    { (tiny_system "T") with C.kernel_circuit = Some (deep_chain_circuit 4) }
+  in
+  check_bool "shallow kernel passes" false
+    (has_rule "drc-sta-slr-path" (drc [ ok ]))
+
 (* ---- elaborate integration ---- *)
 
 let test_elaborate_raises_on_drc_error () =
@@ -478,6 +806,23 @@ let () =
           Alcotest.test_case "const foldable" `Quick test_const_foldable;
           Alcotest.test_case "rule catalog complete" `Quick test_rule_catalog;
         ] );
+      ( "value-rules",
+        [
+          Alcotest.test_case "read before init" `Quick test_read_before_init;
+          Alcotest.test_case "read before init via write enable" `Quick
+            test_read_before_init_write_enable;
+          Alcotest.test_case "const output" `Quick test_const_output;
+          Alcotest.test_case "dead mux arm" `Quick test_dead_mux_arm;
+          Alcotest.test_case "redundant reset" `Quick test_redundant_reset;
+          Alcotest.test_case "dataflow values" `Quick test_dataflow_values;
+        ] );
+      ( "levelize-sta",
+        [
+          Alcotest.test_case "levelize basic" `Quick test_levelize_basic;
+          Alcotest.test_case "stats agrees with levelize" `Quick
+            test_stats_levelize_agree;
+          Alcotest.test_case "sta report" `Quick test_sta_report;
+        ] );
       ( "construction-hardening",
         [
           Alcotest.test_case "mux rejects narrow selector" `Quick
@@ -494,7 +839,13 @@ let () =
           Alcotest.test_case "sort order" `Quick test_sort_order;
           Alcotest.test_case "json rendering" `Quick test_json;
         ] );
-      ("properties", [ prop_random_clean ]);
+      ( "properties",
+        [
+          prop_random_clean;
+          prop_levelize_respects_deps;
+          prop_dataflow_agrees_with_cyclesim;
+          prop_sta_monotone_pipeline;
+        ] );
       ( "composer-drc",
         [
           Alcotest.test_case "name collision" `Quick test_drc_name_collision;
@@ -508,6 +859,7 @@ let () =
           Alcotest.test_case "axi capacity" `Quick test_drc_axi_capacity;
           Alcotest.test_case "structural errors gate mapping checks" `Quick
             test_drc_structural_gates_mapping;
+          Alcotest.test_case "sta slr path" `Quick test_drc_sta_slr_path;
         ] );
       ( "integration",
         [
