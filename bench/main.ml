@@ -571,10 +571,11 @@ let ablation_serve () =
     r.Serve.r_tenants
 
 (* ------------------------------------------------------------------ *)
-(* sim-speed: interpreter throughput baseline for the future compiled  *)
-(* simulator backend (ROADMAP). The compiled backend must beat these   *)
-(* numbers; they are archived to BENCH_simspeed.json so re-anchors can *)
-(* see the trajectory.                                                 *)
+(* sim-speed: interpreter (Hw.Cyclesim) vs compiled (Hw.Compile)       *)
+(* throughput on the same designs. Both entries and the speedup ratio  *)
+(* are archived to BENCH_simspeed.json so re-anchors can see the       *)
+(* trajectory; the run fails if the compiled backend drops below 10x   *)
+(* the interpreter on a3-rtl (the acceptance bar for the backend).     *)
 (* ------------------------------------------------------------------ *)
 
 let simspeed_designs () =
@@ -604,39 +605,104 @@ let simspeed_designs () =
 
 let sim_speed () =
   header "sim-speed"
-    "Hw.Cyclesim interpreter throughput on the RTL-DSL kernels (cycles/sec)";
+    "RTL simulation throughput, interpreter vs compiled backend (cycles/sec)";
   let cycles = 5_000 in
+  let time_backend backend c =
+    let sim = Hw.Sim.create ~backend c in
+    (* settle once so create/first-evaluation cost is off the clock *)
+    Hw.Sim.settle sim;
+    let t0 = Sys.time () in
+    for _ = 1 to cycles do
+      Hw.Sim.step sim
+    done;
+    let dt = Float.max (Sys.time () -. t0) 1e-6 in
+    (dt, float_of_int cycles /. dt)
+  in
+  (* short untimed lockstep sanity pass: the speedup is only meaningful
+     if the two backends still agree on the benchmarked designs *)
+  let lockstep_ok c =
+    let si = Hw.Sim.create ~backend:Hw.Sim.Interpreter c in
+    let sc = Hw.Sim.create ~backend:Hw.Sim.Compiled c in
+    let st = Random.State.make [| 17 |] in
+    let ok = ref true in
+    for _ = 1 to 100 do
+      List.iter
+        (fun (n, w) ->
+          let rec chunks w =
+            if w <= 16 then
+              [ Bits.of_int ~width:w (Random.State.int st (1 lsl w)) ]
+            else
+              Bits.of_int ~width:16 (Random.State.int st 65536)
+              :: chunks (w - 16)
+          in
+          let v = Bits.concat_list (chunks w) in
+          Hw.Sim.set_input si n v;
+          Hw.Sim.set_input sc n v)
+        (Hw.Circuit.inputs c);
+      List.iter
+        (fun (n, _) ->
+          if not (Bits.equal (Hw.Sim.output si n) (Hw.Sim.output sc n)) then
+            ok := false)
+        (Hw.Circuit.outputs c);
+      Hw.Sim.step si;
+      Hw.Sim.step sc
+    done;
+    !ok
+  in
   let rows =
     List.map
       (fun (name, c) ->
         let lv = Hw.Levelize.of_circuit c in
-        let sim = Hw.Cyclesim.create c in
-        (* settle once so first-evaluation allocation is off the clock *)
-        Hw.Cyclesim.settle sim;
-        let t0 = Sys.time () in
-        for _ = 1 to cycles do
-          Hw.Cyclesim.step sim
-        done;
-        let dt = Float.max (Sys.time () -. t0) 1e-6 in
-        let cps = float_of_int cycles /. dt in
-        Printf.printf "  %-18s %5d node(s), depth %3d: %10.0f cycles/sec\n"
-          name (Hw.Levelize.n_nodes lv) (Hw.Levelize.comb_depth lv) cps;
-        (name, Hw.Levelize.n_nodes lv, Hw.Levelize.comb_depth lv, dt, cps))
+        if not (lockstep_ok c) then
+          failwith (Printf.sprintf "sim-speed: backends diverge on %s" name);
+        let dt_i, cps_i = time_backend Hw.Sim.Interpreter c in
+        let dt_c, cps_c = time_backend Hw.Sim.Compiled c in
+        let speedup = cps_c /. cps_i in
+        Printf.printf
+          "  %-18s %5d node(s), depth %3d: %10.0f -> %10.0f cycles/sec \
+           (%.1fx)\n"
+          name (Hw.Levelize.n_nodes lv) (Hw.Levelize.comb_depth lv) cps_i cps_c
+          speedup;
+        ( name,
+          Hw.Levelize.n_nodes lv,
+          Hw.Levelize.comb_depth lv,
+          [ ("interpreter", dt_i, cps_i); ("compiled", dt_c, cps_c) ],
+          speedup ))
       (simspeed_designs ())
   in
   let oc = open_out "BENCH_simspeed.json" in
-  output_string oc
-    "{\"experiment\":\"sim-speed\",\"backend\":\"interpreter\",\"designs\":[";
+  output_string oc "{\"experiment\":\"sim-speed\",\"designs\":[";
   List.iteri
-    (fun i (name, nodes, depth, dt, cps) ->
+    (fun i (name, nodes, depth, backends, speedup) ->
       if i > 0 then output_string oc ",";
       Printf.fprintf oc
-        "{\"design\":\"%s\",\"nodes\":%d,\"comb_depth\":%d,\"cycles\":%d,\"seconds\":%.6f,\"cycles_per_sec\":%.0f}"
-        name nodes depth cycles dt cps)
+        "{\"design\":\"%s\",\"nodes\":%d,\"comb_depth\":%d,\"cycles\":%d,\"backends\":["
+        name nodes depth cycles;
+      List.iteri
+        (fun j (backend, dt, cps) ->
+          if j > 0 then output_string oc ",";
+          Printf.fprintf oc
+            "{\"backend\":\"%s\",\"seconds\":%.6f,\"cycles_per_sec\":%.0f}"
+            backend dt cps)
+        backends;
+      Printf.fprintf oc "],\"speedup\":%.2f}" speedup)
     rows;
   output_string oc "]}\n";
   close_out oc;
-  Printf.printf "  archived to BENCH_simspeed.json\n"
+  Printf.printf "  archived to BENCH_simspeed.json\n";
+  let a3_speedup =
+    List.find_map
+      (fun (name, _, _, _, s) -> if name = "a3-rtl" then Some s else None)
+      rows
+  in
+  match a3_speedup with
+  | Some s when s < 10.0 ->
+      failwith
+        (Printf.sprintf
+           "sim-speed: compiled backend is only %.1fx the interpreter on \
+            a3-rtl (need >= 10x)"
+           s)
+  | _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing of the experiment kernels                           *)

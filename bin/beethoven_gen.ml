@@ -534,6 +534,184 @@ let trace_cmd =
       const trace_run $ seed_arg $ bytes_arg $ platform_arg $ format_arg
       $ trace_out_arg)
 
+(* ---- sim subcommand: step RTL-DSL kernels, or lockstep both backends ---- *)
+
+let sim_run design backend cycles seed n_cores =
+  let mode =
+    match backend with
+    | "both" -> `Both
+    | s -> (
+        match Hw.Sim.backend_of_string s with
+        | Some b -> `One b
+        | None ->
+            Printf.eprintf "unknown backend %S (interpreter, compiled, both)\n"
+              s;
+            exit 2)
+  in
+  if cycles < 1 then begin
+    Printf.eprintf "sim: cycles must be >= 1\n";
+    exit 2
+  end;
+  let selected =
+    if design = "all" then designs
+    else
+      match List.assoc_opt design designs with
+      | Some f -> [ (design, f) ]
+      | None ->
+          Printf.eprintf "unknown design %S (available: all, %s)\n" design
+            (String.concat ", " (List.map fst designs));
+          exit 2
+  in
+  let kernels =
+    List.concat_map
+      (fun (name, config_of) ->
+        let config = config_of n_cores in
+        List.filter_map
+          (fun (s : Beethoven.Config.system) ->
+            Option.map
+              (fun c -> (name ^ "/" ^ s.Beethoven.Config.sys_name, c))
+              s.Beethoven.Config.kernel_circuit)
+          config.Beethoven.Config.systems)
+      selected
+  in
+  if kernels = [] then begin
+    Printf.eprintf "sim: no RTL-DSL kernels in the selected design(s)\n";
+    exit 2
+  end;
+  let random_bits st w =
+    let rec chunks w =
+      if w <= 16 then [ Bits.of_int ~width:w (Random.State.int st (1 lsl w)) ]
+      else Bits.of_int ~width:16 (Random.State.int st 65536) :: chunks (w - 16)
+    in
+    Bits.concat_list (chunks w)
+  in
+  let fold_digest d b =
+    String.fold_left
+      (fun d c -> ((d * 33) + Char.code c) land 0x3fffffff)
+      d (Bits.to_hex_string b)
+  in
+  let diverged = ref false in
+  List.iter
+    (fun (label, c) ->
+      let st = Random.State.make [| seed |] in
+      match mode with
+      | `One b ->
+          (* seeded random stimulus; the output digest is backend-stable,
+             so the same invocation with the other backend must print the
+             same digest *)
+          let sim = Hw.Sim.create ~backend:b c in
+          let digest = ref 5381 in
+          for _ = 1 to cycles do
+            List.iter
+              (fun (n, w) -> Hw.Sim.set_input sim n (random_bits st w))
+              (Hw.Circuit.inputs c);
+            List.iter
+              (fun (n, _) -> digest := fold_digest !digest (Hw.Sim.output sim n))
+              (Hw.Circuit.outputs c);
+            Hw.Sim.step sim
+          done;
+          Printf.printf "  %-28s %-11s %5d cycles, output digest %08x\n" label
+            (Hw.Sim.backend_name b) cycles !digest
+      | `Both ->
+          let si = Hw.Sim.create ~backend:Hw.Sim.Interpreter c in
+          let sc = Hw.Sim.create ~backend:Hw.Sim.Compiled c in
+          let bad = ref None in
+          (try
+             for cyc = 1 to cycles do
+               List.iter
+                 (fun (n, w) ->
+                   let v = random_bits st w in
+                   Hw.Sim.set_input si n v;
+                   Hw.Sim.set_input sc n v)
+                 (Hw.Circuit.inputs c);
+               List.iter
+                 (fun (n, _) ->
+                   if not (Bits.equal (Hw.Sim.output si n) (Hw.Sim.output sc n))
+                   then begin
+                     bad := Some (Printf.sprintf "cycle %d, output %s" cyc n);
+                     raise Exit
+                   end)
+                 (Hw.Circuit.outputs c);
+               List.iter
+                 (fun m ->
+                   for a = 0 to Hw.Signal.mem_size m - 1 do
+                     if
+                       not
+                         (Bits.equal
+                            (Hw.Sim.read_memory si m a)
+                            (Hw.Sim.read_memory sc m a))
+                     then begin
+                       bad :=
+                         Some
+                           (Printf.sprintf "cycle %d, memory %s[%d]" cyc
+                              (Hw.Signal.mem_name m) a);
+                       raise Exit
+                     end
+                   done)
+                 (Hw.Circuit.memories c);
+               Hw.Sim.step si;
+               Hw.Sim.step sc
+             done
+           with Exit -> ());
+          (match !bad with
+          | None ->
+              Printf.printf "  %-28s lockstep OK: %d cycles, %d outputs, %d \
+                             memory words compared\n"
+                label cycles
+                (List.length (Hw.Circuit.outputs c))
+                (List.fold_left
+                   (fun acc m -> acc + Hw.Signal.mem_size m)
+                   0 (Hw.Circuit.memories c))
+          | Some where ->
+              diverged := true;
+              Printf.printf "  %-28s DIVERGED at %s\n" label where))
+    kernels;
+  if !diverged then exit 1
+
+let sim_design_arg =
+  let doc =
+    "Design whose RTL-DSL kernels to simulate, or $(b,all): "
+    ^ String.concat ", " (List.map fst designs)
+  in
+  Arg.(value & opt string "all" & info [ "design"; "d" ] ~docv:"NAME" ~doc)
+
+let sim_backend_arg =
+  let doc =
+    "Simulation backend: $(b,interpreter) (Hw.Cyclesim), $(b,compiled) \
+     (Hw.Compile) or $(b,both) (run the two in lockstep and compare every \
+     output and every memory word each cycle)."
+  in
+  Arg.(value & opt string "both" & info [ "backend" ] ~docv:"NAME" ~doc)
+
+let sim_cycles_arg =
+  let doc = "Number of cycles of seeded random stimulus." in
+  Arg.(value & opt int 64 & info [ "cycles" ] ~docv:"N" ~doc)
+
+let sim_cmd =
+  let doc = "simulate bundled RTL-DSL kernels (interpreter, compiled, or both)" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Drives every RTL-DSL kernel circuit of the selected bundled \
+         design(s) with seeded random stimulus. With $(b,--backend \
+         interpreter) or $(b,compiled) it steps that backend and prints a \
+         backend-stable digest of every output on every cycle (the two \
+         backends must print the same digest for the same seed). With \
+         $(b,--backend both) (the default, and what the $(b,@simspeed) \
+         dune alias gates on) it runs both backends in lockstep and exits \
+         1 on the first divergence in any output or backdoor-read memory \
+         word. BENCH_simspeed.json archives the throughput of both \
+         backends over the same designs (bench sim-speed).";
+    ]
+    @ exit_status_man
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc ~man)
+    Term.(
+      const sim_run $ sim_design_arg $ sim_backend_arg $ sim_cycles_arg
+      $ seed_arg $ cores_arg)
+
 (* ---- serve subcommand: multi-tenant serving campaign ---- *)
 
 let serve_run seed n_clients n_tenants duration_us policy platform cores batch
@@ -697,6 +875,6 @@ let cmd =
   let doc = "compose a Beethoven accelerator system and emit its artifacts" in
   let info = Cmd.info "beethoven_gen" ~version:"1.0" ~doc in
   Cmd.group ~default:gen_term info
-    [ lint_cmd; sta_cmd; fault_cmd; trace_cmd; serve_cmd ]
+    [ lint_cmd; sta_cmd; sim_cmd; fault_cmd; trace_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval cmd)

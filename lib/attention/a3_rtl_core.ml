@@ -236,7 +236,7 @@ let config ?(n_cores = 1) () =
         ();
     ]
 
-let rtl_behavior = B.Rtl_core.behavior ~build:circuit
+let rtl_behavior = B.Rtl_core.behavior ~build:circuit ()
 
 (* funct 0 (load_kv) is serviced by the composer's scratchpad machinery;
    funct 1 enters the netlist *)

@@ -92,8 +92,11 @@ let to_int t =
   !v
 
 let to_int_trunc t =
+  (* accumulate enough limbs to cover bit 61; the wrap-around of the
+     intermediate [lsl] is harmless because the final mask keeps only the
+     low 62 bits, which survive arithmetic modulo 2^63 *)
   let v = ref 0 in
-  let top = min (Array.length t.limbs) (62 / limb_bits) - 1 in
+  let top = min (Array.length t.limbs) (((62 - 1) / limb_bits) + 1) - 1 in
   for i = top downto 0 do
     v := (!v lsl limb_bits) lor t.limbs.(i)
   done;
@@ -324,30 +327,72 @@ let to_signed_int t =
 let of_signed_int ~width n =
   if n >= 0 then of_int ~width n else neg (of_int ~width (-n))
 
+(* limb_bits-wide window of [limbs] starting at bit [pos]; bits past the
+   array read as zero (the top limb is canonical, so bits past the width
+   are already zero) *)
+let get_window limbs n pos =
+  let i = pos / limb_bits and off = pos mod limb_bits in
+  let lo = if i < n then limbs.(i) lsr off else 0 in
+  let hi =
+    if off > 0 && i + 1 < n then limbs.(i + 1) lsl (limb_bits - off) else 0
+  in
+  (lo lor hi) land limb_mask
+
+(* OR the window [v] (<= limb_mask) into [limbs] at bit [pos]; target
+   bits must currently be zero; bits past the array are dropped *)
+let or_window limbs pos v =
+  let i = pos / limb_bits and off = pos mod limb_bits in
+  let n = Array.length limbs in
+  if i < n then limbs.(i) <- limbs.(i) lor ((v lsl off) land limb_mask);
+  if off > 0 && i + 1 < n then
+    limbs.(i + 1) <- limbs.(i + 1) lor (v lsr (limb_bits - off))
+
+(* OR all of [src]'s bits into [dst] starting at [dst_pos]; the affected
+   bits of [dst] must be zero *)
+let blit_bits src dst ~dst_pos =
+  let n = Array.length src.limbs in
+  let rec go k =
+    if k < src.width then begin
+      or_window dst.limbs (dst_pos + k) (get_window src.limbs n k);
+      go (k + limb_bits)
+    end
+  in
+  go 0
+
 let slice t ~hi ~lo =
   if lo < 0 || hi < lo || hi >= t.width then
     invalid_arg
       (Printf.sprintf "Bits.slice: [%d:%d] out of range for width %d" hi lo
          t.width);
-  let r = make (hi - lo + 1) in
-  for i = 0 to hi - lo do
-    if bit t (lo + i) then set_bit r i true
-  done;
-  r
+  let w = hi - lo + 1 in
+  let r = make w in
+  let n = Array.length t.limbs in
+  let rec go k =
+    if k < w then begin
+      or_window r.limbs k (get_window t.limbs n (lo + k));
+      go (k + limb_bits)
+    end
+  in
+  go 0;
+  canonicalize r
 
 let concat hi lo =
   let r = make (hi.width + lo.width) in
-  for i = 0 to lo.width - 1 do
-    if bit lo i then set_bit r i true
-  done;
-  for i = 0 to hi.width - 1 do
-    if bit hi i then set_bit r (lo.width + i) true
-  done;
-  r
+  blit_bits lo r ~dst_pos:0;
+  blit_bits hi r ~dst_pos:lo.width;
+  canonicalize r
 
-let concat_list = function
-  | [] -> zero 0
-  | x :: rest -> List.fold_left (fun acc t -> concat acc t) x rest
+(* head of the list = most-significant bits; single allocation *)
+let concat_list parts =
+  let total = List.fold_left (fun a p -> a + p.width) 0 parts in
+  let r = make total in
+  let pos = ref total in
+  List.iter
+    (fun p ->
+      pos := !pos - p.width;
+      blit_bits p r ~dst_pos:!pos)
+    parts;
+  canonicalize r
 
 let sext t w =
   if w <= t.width then resize t w
@@ -364,6 +409,27 @@ let repeat t n =
   if n < 0 then invalid_arg "Bits.repeat: negative count";
   let rec go acc n = if n = 0 then acc else go (concat acc t) (n - 1) in
   if n = 0 then zero 0 else go t (n - 1)
+
+let extract_int t ~lo ~width:w =
+  if w < 0 || w > 62 then
+    invalid_arg "Bits.extract_int: width must be in [0, 62]";
+  if lo < 0 then invalid_arg "Bits.extract_int: negative lo";
+  if w = 0 then 0
+  else begin
+    let mask = if w >= 62 then max_int else (1 lsl w) - 1 in
+    let n = Array.length t.limbs in
+    let v = ref 0 in
+    let pos = ref (-(lo mod limb_bits)) in
+    let i = ref (lo / limb_bits) in
+    while !pos < w && !i < n do
+      let limb = t.limbs.(!i) in
+      (if !pos >= 0 then v := !v lor (limb lsl !pos)
+       else v := !v lor (limb lsr - !pos));
+      pos := !pos + limb_bits;
+      incr i
+    done;
+    !v land mask
+  end
 
 let select_bits t positions =
   let w = List.length positions in

@@ -113,6 +113,13 @@ val sext : t -> int -> t
 val repeat : t -> int -> t
 (** [repeat t n] concatenates [n] copies of [t]. *)
 
+val extract_int : t -> lo:int -> width:int -> int
+(** [extract_int t ~lo ~width] is bits [lo .. lo+width-1] as a
+    non-negative [int], without allocating — the single-word fast path of
+    the compiled simulator. Bits beyond [t]'s width read as zero. Raises
+    [Invalid_argument] when [width] is outside [0, 62] or [lo] is
+    negative. *)
+
 val select_bits : t -> int list -> t
 (** Gather the listed bit positions (head of list = MSB of result). *)
 

@@ -1,5 +1,6 @@
-(* Bridge between an RTL core (Hw.Cyclesim) and the transaction-level SoC:
-   the composer-generated glue a Beethoven user never writes by hand. *)
+(* Bridge between an RTL core (Hw.Sim, compiled backend by default) and
+   the transaction-level SoC: the composer-generated glue a Beethoven
+   user never writes by hand. *)
 
 let bits_of_mem soc addr n_bytes =
   Bits.concat_list
@@ -39,7 +40,7 @@ type spad_bridge = {
 }
 
 type core_state = {
-  sim : Hw.Cyclesim.t;
+  sim : Hw.Sim.t;
   reads : read_bridge list;
   writes : write_bridge list;
   spads : spad_bridge list;
@@ -88,7 +89,7 @@ let validate circuit (sys : Config.system) =
 (* one simulator per (soc, system, core) *)
 let instances : (int * string * int, core_state) Hashtbl.t = Hashtbl.create 8
 
-let state_of ~build (ctx : Soc.ctx) =
+let state_of ?backend ~build (ctx : Soc.ctx) =
   let key =
     (Soc.uid ctx.Soc.soc, ctx.Soc.system.Config.sys_name, ctx.Soc.core_id)
   in
@@ -97,7 +98,7 @@ let state_of ~build (ctx : Soc.ctx) =
   | None ->
       let circuit = build () in
       validate circuit ctx.Soc.system;
-      let sim = Hw.Cyclesim.create circuit in
+      let sim = Hw.Sim.create ?backend circuit in
       let reads =
         List.map
           (fun rc ->
@@ -149,20 +150,20 @@ let state_of ~build (ctx : Soc.ctx) =
       Hashtbl.add instances key st;
       st
 
-let high sim name = Hw.Cyclesim.output_int sim name = 1
+let high sim name = Hw.Sim.output_int sim name = 1
 
-let behavior ~build : Soc.behavior =
+let behavior ?backend ~build () : Soc.behavior =
  fun ctx beats ~respond ->
-  let st = state_of ~build ctx in
+  let st = state_of ?backend ~build ctx in
   let sim = st.sim in
   let soc = ctx.Soc.soc in
   let pending_beats = ref beats in
   let resp_data = ref 0L in
   let responded = ref false in
   let budget = ref 10_000_000 in
-  let set name v = try Hw.Cyclesim.set_input sim name v with Not_found -> () in
+  let set name v = try Hw.Sim.set_input sim name v with Not_found -> () in
   let set_int name v =
-    try Hw.Cyclesim.set_input_int sim name v with Not_found -> ()
+    try Hw.Sim.set_input_int sim name v with Not_found -> ()
   in
   let rec cycle () =
     decr budget;
@@ -201,7 +202,7 @@ let behavior ~build : Soc.behavior =
         set_int (c ^ "_data_ready")
           (if wb.wb_open && wb.wb_unacked < 4 then 1 else 0))
       st.writes;
-    Hw.Cyclesim.settle sim;
+    Hw.Sim.settle sim;
     (* scratchpad read ports are asynchronous: feed each settled address
        back as data and settle again (addresses must not combinationally
        depend on the returned data) *)
@@ -209,7 +210,7 @@ let behavior ~build : Soc.behavior =
       List.iter
         (fun sb ->
           let addr =
-            Bits.to_int_trunc (Hw.Cyclesim.output sim (sb.sb_name ^ "_rd_addr"))
+            Bits.to_int_trunc (Hw.Sim.output sim (sb.sb_name ^ "_rd_addr"))
           in
           let depth = Soc.Scratchpad.depth sb.sb_spad in
           let row = if addr < depth then addr else 0 in
@@ -222,7 +223,7 @@ let behavior ~build : Soc.behavior =
           in
           set (sb.sb_name ^ "_rd_data") (Bits.resize bits sb.sb_row_bits))
         st.spads;
-      Hw.Cyclesim.settle sim
+      Hw.Sim.settle sim
     end;
     (* -- sample handshakes that fire at this edge -- *)
     let req_fired = high sim "req_ready" && !pending_beats <> [] in
@@ -231,10 +232,10 @@ let behavior ~build : Soc.behavior =
         let c = rb.rb_chan.Config.rc_name in
         if (not rb.rb_active) && high sim (c ^ "_req_valid") then begin
           let addr =
-            Bits.to_int_trunc (Hw.Cyclesim.output sim (c ^ "_req_addr"))
+            Bits.to_int_trunc (Hw.Sim.output sim (c ^ "_req_addr"))
           in
           let len =
-            Bits.to_int_trunc (Hw.Cyclesim.output sim (c ^ "_req_len"))
+            Bits.to_int_trunc (Hw.Sim.output sim (c ^ "_req_len"))
           in
           rb.rb_base <- addr;
           rb.rb_active <- true;
@@ -251,10 +252,10 @@ let behavior ~build : Soc.behavior =
         let c = wb.wb_chan.Config.wc_name in
         if (not wb.wb_open) && high sim (c ^ "_req_valid") then begin
           let addr =
-            Bits.to_int_trunc (Hw.Cyclesim.output sim (c ^ "_req_addr"))
+            Bits.to_int_trunc (Hw.Sim.output sim (c ^ "_req_addr"))
           in
           let len =
-            Bits.to_int_trunc (Hw.Cyclesim.output sim (c ^ "_req_len"))
+            Bits.to_int_trunc (Hw.Sim.output sim (c ^ "_req_len"))
           in
           wb.wb_open <- true;
           wb.wb_done <- false;
@@ -268,7 +269,7 @@ let behavior ~build : Soc.behavior =
         else if
           wb.wb_open && wb.wb_unacked < 4 && high sim (c ^ "_data_valid")
         then begin
-          let data = Hw.Cyclesim.output sim (c ^ "_data") in
+          let data = Hw.Sim.output sim (c ^ "_data") in
           mem_of_bits soc (wb.wb_base + wb.wb_offset) data;
           wb.wb_offset <- wb.wb_offset + (Bits.width data / 8);
           wb.wb_unacked <- wb.wb_unacked + 1;
@@ -278,10 +279,10 @@ let behavior ~build : Soc.behavior =
         end)
       st.writes;
     if high sim "resp_valid" && not !responded then begin
-      resp_data := Bits.to_int64 (Hw.Cyclesim.output sim "resp_data");
+      resp_data := Bits.to_int64 (Hw.Sim.output sim "resp_data");
       responded := true
     end;
-    Hw.Cyclesim.step sim;
+    Hw.Sim.step sim;
     if req_fired then pending_beats := List.tl !pending_beats;
     (* -- done? -- *)
     let writes_settled = List.for_all (fun wb -> wb.wb_done) st.writes in

@@ -1,0 +1,52 @@
+(** Compiled cycle-accurate simulator over the {!Levelize} IR.
+
+    Drop-in replacement for {!Cyclesim} (same evaluation model: settle,
+    then registers latch read-before-write and memories commit
+    read-first), but instead of interpreting the signal graph through
+    per-uid hashtables it specializes the circuit once at {!create}:
+
+    - every node gets a dense slot (the {!Levelize} slot order, which is
+      a valid evaluation order) in preallocated value arrays — signals of
+      width [<= 62] live in a plain [int array] with no per-cycle
+      allocation, wider signals in a [Bits.t array];
+    - every combinational node becomes one closure specialized to its
+      kind, operand slots and width mask, run in slot order by {!settle};
+    - registers, synchronous memory reads and memory write ports become
+      latch/commit closures, so {!step} is three tight array loops.
+
+    Outputs are bit-identical to {!Cyclesim} on every circuit (the
+    lockstep qcheck suite in [test/test_compile.ml] holds both backends
+    to that). Unlike the interpreter, an unconnected wire is rejected
+    here at {!create} time with [Invalid_argument] naming the wire,
+    before the first [step] can trip over it. *)
+
+type t
+
+val create : Circuit.t -> t
+(** Compile the circuit. Raises [Invalid_argument] naming the offending
+    signal if the circuit contains an unconnected wire. *)
+
+val set_input : t -> string -> Bits.t -> unit
+(** Raises [Not_found] for unknown ports, [Invalid_argument] on width
+    mismatch. Values persist across cycles until overwritten. *)
+
+val set_input_int : t -> string -> int -> unit
+val output : t -> string -> Bits.t
+val output_int : t -> string -> int
+
+val peek : t -> Signal.t -> Bits.t
+(** Read any signal's settled value (for debugging/tests). Only valid after
+    at least one {!settle} or {!step}. *)
+
+val settle : t -> unit
+(** Recompute combinational logic without advancing the clock. *)
+
+val step : t -> unit
+(** Settle, then advance one clock edge. *)
+
+val cycle : t -> int
+(** Number of clock edges so far. *)
+
+val read_memory : t -> Signal.Mem.mem -> int -> Bits.t
+val write_memory : t -> Signal.Mem.mem -> int -> Bits.t -> unit
+(** Backdoor memory access for test benches. *)

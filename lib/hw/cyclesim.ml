@@ -71,7 +71,12 @@ let eval t s =
   match kind s with
   | Const b -> b
   | Input n -> !(Hashtbl.find t.inputs n)
-  | Wire r -> ( match !r with Some d -> value t d | None -> assert false)
+  | Wire r -> (
+      match !r with
+      | Some d -> value t d
+      | None ->
+          invalid_arg
+            ("Cyclesim.eval: unconnected wire: " ^ Circuit.describe s))
   | Op2 (op, a, b) -> (
       let va = value t a and vb = value t b in
       match op with

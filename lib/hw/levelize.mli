@@ -22,7 +22,13 @@ type node = {
   n_level : int;
   n_deps : int array;
       (** slots of the combinational dependencies, in {!Circuit.comb_deps}
-          order; every entry is [< n_slot] *)
+          order; every entry is [< n_slot]. The per-kind layout is part of
+          the contract (compiled backends decode operands positionally
+          from it): [Op2 (op, a, b)] is [[|a; b|]]; [Not], [Shift] and
+          [Select] are [[|a|]]; [Mux (sel, cases)] is [sel] followed by
+          the cases in order; [Concat parts] is the parts MSB-first;
+          [Wire] is its driver; [Mem_read_async] is [[|addr|]]; sources
+          ([Const], [Input], [Reg], [Mem_read_sync]) are empty. *)
   n_fanout : int;
       (** number of loads: combinational consumers, sequential-element
           inputs (register d/enable/clear, sync-read address/enable) and
@@ -51,6 +57,13 @@ val level_slice : t -> int -> int * int
 
 val node_of : t -> Signal.t -> node
 (** Raises [Not_found] for signals outside the circuit. *)
+
+val deps_resolved : t -> node -> Signal.t array
+(** The node's combinational dependencies as signals, aligned with
+    [n_deps] (slot [n_deps.(i)] is [deps_resolved.(i)]) — the
+    convenience view of the layout contract above for backends that
+    need the signal (width, kind) alongside the slot. Allocates a fresh
+    array per call; {!Dataflow} and {!Sta} do not use it. *)
 
 val slot_of : t -> Signal.t -> int
 val level_of : t -> Signal.t -> int

@@ -1,0 +1,67 @@
+module type S = sig
+  type t
+
+  val create : Circuit.t -> t
+  val set_input : t -> string -> Bits.t -> unit
+  val set_input_int : t -> string -> int -> unit
+  val output : t -> string -> Bits.t
+  val output_int : t -> string -> int
+  val peek : t -> Signal.t -> Bits.t
+  val settle : t -> unit
+  val step : t -> unit
+  val cycle : t -> int
+  val read_memory : t -> Signal.Mem.mem -> int -> Bits.t
+  val write_memory : t -> Signal.Mem.mem -> int -> Bits.t -> unit
+end
+
+(* both backends must keep conforming to the common interface *)
+module _ : S = Cyclesim
+module _ : S = Compile
+
+type backend = Interpreter | Compiled
+
+let default_backend = Compiled
+let backend_name = function Interpreter -> "interpreter" | Compiled -> "compiled"
+
+let backend_of_string = function
+  | "interpreter" -> Some Interpreter
+  | "compiled" -> Some Compiled
+  | _ -> None
+
+type t = I of Cyclesim.t | C of Compile.t
+
+let create ?(backend = default_backend) circuit =
+  match backend with
+  | Interpreter -> I (Cyclesim.create circuit)
+  | Compiled -> C (Compile.create circuit)
+
+let backend = function I _ -> Interpreter | C _ -> Compiled
+
+let set_input t n v =
+  match t with I s -> Cyclesim.set_input s n v | C s -> Compile.set_input s n v
+
+let set_input_int t n v =
+  match t with
+  | I s -> Cyclesim.set_input_int s n v
+  | C s -> Compile.set_input_int s n v
+
+let output t n =
+  match t with I s -> Cyclesim.output s n | C s -> Compile.output s n
+
+let output_int t n =
+  match t with I s -> Cyclesim.output_int s n | C s -> Compile.output_int s n
+
+let peek t s = match t with I i -> Cyclesim.peek i s | C c -> Compile.peek c s
+let settle = function I s -> Cyclesim.settle s | C s -> Compile.settle s
+let step = function I s -> Cyclesim.step s | C s -> Compile.step s
+let cycle = function I s -> Cyclesim.cycle s | C s -> Compile.cycle s
+
+let read_memory t m a =
+  match t with
+  | I s -> Cyclesim.read_memory s m a
+  | C s -> Compile.read_memory s m a
+
+let write_memory t m a v =
+  match t with
+  | I s -> Cyclesim.write_memory s m a v
+  | C s -> Compile.write_memory s m a v

@@ -1,0 +1,57 @@
+(** Backend-agnostic RTL simulation.
+
+    {!Cyclesim} (the reference interpreter) and {!Compile} (the
+    levelized compiled backend) implement the same evaluation model and
+    the same module interface {!S}; this module pins that interface down
+    and provides a runtime-selectable dispatch so hot callers
+    ([Core.Rtl_core], the bench harness, [beethoven_gen sim]) can switch
+    backends with a value instead of a functor. *)
+
+(** The simulator operations both backends provide, with identical
+    semantics and exceptions (see {!Cyclesim} for the documentation of
+    each). *)
+module type S = sig
+  type t
+
+  val create : Circuit.t -> t
+  val set_input : t -> string -> Bits.t -> unit
+  val set_input_int : t -> string -> int -> unit
+  val output : t -> string -> Bits.t
+  val output_int : t -> string -> int
+  val peek : t -> Signal.t -> Bits.t
+  val settle : t -> unit
+  val step : t -> unit
+  val cycle : t -> int
+  val read_memory : t -> Signal.Mem.mem -> int -> Bits.t
+  val write_memory : t -> Signal.Mem.mem -> int -> Bits.t -> unit
+end
+
+type backend = Interpreter | Compiled
+
+val default_backend : backend
+(** {!Compiled} — the interpreter remains the differential reference. *)
+
+val backend_name : backend -> string
+(** ["interpreter"] / ["compiled"]. *)
+
+val backend_of_string : string -> backend option
+(** Inverse of {!backend_name}; [None] on anything else. *)
+
+type t
+(** A simulator instance of either backend. *)
+
+val create : ?backend:backend -> Circuit.t -> t
+(** Defaults to {!default_backend}. *)
+
+val backend : t -> backend
+
+val set_input : t -> string -> Bits.t -> unit
+val set_input_int : t -> string -> int -> unit
+val output : t -> string -> Bits.t
+val output_int : t -> string -> int
+val peek : t -> Signal.t -> Bits.t
+val settle : t -> unit
+val step : t -> unit
+val cycle : t -> int
+val read_memory : t -> Signal.Mem.mem -> int -> Bits.t
+val write_memory : t -> Signal.Mem.mem -> int -> Bits.t -> unit

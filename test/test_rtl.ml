@@ -174,7 +174,7 @@ let test_rtl_missing_port_rejected () =
   let cfg = Kernels.Vecadd_rtl.config () in
   let design = B.Elaborate.elaborate cfg D.aws_f1 in
   let soc =
-    B.Soc.create design ~behaviors:(fun _ -> B.Rtl_core.behavior ~build:bad)
+    B.Soc.create design ~behaviors:(fun _ -> B.Rtl_core.behavior ~build:bad ())
   in
   let handle = Runtime.Handle.create soc in
   let raised = ref false in
