@@ -838,6 +838,150 @@ let serve_cmd =
       $ serve_duration_arg $ serve_policy_arg $ platform_arg $ serve_cores_arg
       $ serve_batch_arg $ serve_rate_arg $ serve_think_arg $ serve_hang_arg)
 
+(* ---- cluster subcommand: fault-tolerant multi-device serving ---- *)
+
+let cluster_run seed devices warm duration_us rate kills restores curve =
+  if devices < 1 || duration_us < 1 then begin
+    Printf.eprintf "cluster: devices and duration must be >= 1\n";
+    exit 2
+  end;
+  let duration_ps = duration_us * 1_000_000 in
+  if curve then begin
+    let pts =
+      Cluster.device_loss_curve ~seed ~duration_ps ~rate_rps:rate ~devices ()
+    in
+    print_string (Cluster.render_loss_curve pts)
+  end
+  else begin
+    let tenants =
+      [
+        Serve.Tenant.make ~name:"gold" ~weight:3.0 ~clients:4
+          ~slo_ps:400_000_000 ~deadline_ps:900_000_000
+          ~mix:[ Serve.Mix.memcpy ~bytes:(8 * 1024) () ]
+          ~load:(Serve.Tenant.Open_loop { rate_rps = rate /. 4. })
+          ();
+        Serve.Tenant.make ~name:"bronze" ~weight:1.0 ~clients:2
+          ~slo_ps:500_000_000 ~deadline_ps:900_000_000
+          ~mix:[ Serve.Mix.vecadd ~bytes:(4 * 1024) () ]
+          ~load:(Serve.Tenant.Closed_loop { think_ps = 30_000_000 })
+          ();
+      ]
+    in
+    let cfg = Cluster.config ~seed ~duration_ps ~devices ?warm ~tenants () in
+    let chaos =
+      List.map
+        (fun (dev, at_us) -> Cluster.Kill { at = at_us * 1_000_000; dev })
+        kills
+      @ List.map
+          (fun (dev, at_us) -> Cluster.Restore { at = at_us * 1_000_000; dev })
+          restores
+    in
+    let r = Cluster.run ~chaos cfg () in
+    (* determinism gate: the same seed must reproduce the same campaign,
+       down to every device generation and latency quantile *)
+    let r2 = Cluster.run ~chaos cfg () in
+    print_string (Cluster.render r);
+    Printf.printf "digest: %s\n" (Cluster.digest r);
+    let problems = Cluster.violations r in
+    List.iter (fun p -> Printf.eprintf "cluster: accounting: %s\n" p) problems;
+    if r.Cluster.c_lost_acked <> 0 then
+      Printf.eprintf "cluster: %d acknowledged commands lost\n"
+        r.Cluster.c_lost_acked;
+    (if kills <> [] && r.Cluster.c_quarantines = 0 then
+       Printf.eprintf "cluster: a kill was scheduled but nothing quarantined\n");
+    let deterministic =
+      String.equal (Cluster.digest r) (Cluster.digest r2)
+    in
+    if not deterministic then
+      Printf.eprintf "cluster: NON-DETERMINISTIC: same seed diverged\n";
+    if
+      problems <> []
+      || r.Cluster.c_lost_acked <> 0
+      || (kills <> [] && r.Cluster.c_quarantines = 0)
+      || not deterministic
+    then exit 1
+  end
+
+let cluster_devices_arg =
+  let doc = "Number of device slots in the fleet." in
+  Arg.(value & opt int 4 & info [ "devices"; "d" ] ~docv:"N" ~doc)
+
+let cluster_warm_arg =
+  let doc =
+    "Warm-pool size: slots beyond this boot as standby spares that the \
+     elastic-promotion policy can pull in (default: all warm)."
+  in
+  Arg.(value & opt (some int) None & info [ "warm" ] ~docv:"N" ~doc)
+
+let cluster_duration_arg =
+  let doc = "Arrival-generation horizon, in simulated microseconds." in
+  Arg.(value & opt int 600 & info [ "duration" ] ~docv:"US" ~doc)
+
+let cluster_rate_arg =
+  let doc = "Aggregate open-loop arrival rate, requests/second." in
+  Arg.(value & opt float 30_000. & info [ "rate" ] ~docv:"RPS" ~doc)
+
+let cluster_kill_arg =
+  let doc =
+    "Kill device $(i,DEV) at $(i,US) simulated microseconds (repeatable): \
+     its engine freezes, the heartbeat monitor quarantines it, its \
+     tenants drain and re-shard onto survivors."
+  in
+  Arg.(
+    value
+    & opt_all (pair ~sep:':' int int) []
+    & info [ "kill" ] ~docv:"DEV:US" ~doc)
+
+let cluster_restore_arg =
+  let doc =
+    "Restore device $(i,DEV) at $(i,US) simulated microseconds \
+     (repeatable): a fresh SoC generation boots into the slot as a \
+     standby spare."
+  in
+  Arg.(
+    value
+    & opt_all (pair ~sep:':' int int) []
+    & info [ "restore" ] ~docv:"DEV:US" ~doc)
+
+let cluster_curve_arg =
+  let doc =
+    "Instead of one campaign, sweep the device-loss degradation curve: \
+     kill 0, 1, ... N-1 of the fleet's devices mid-campaign and print \
+     achieved throughput and p99 against survivors."
+  in
+  Arg.(value & flag & info [ "curve" ] ~doc)
+
+let cluster_cmd =
+  let doc =
+    "serve a multi-tenant workload across a heterogeneous device fleet"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Boots a fleet of simulated devices (AWS F1, Alveo U200 and Kria \
+         shells, cycled), homes each tenant on a device by load and \
+         locality, and serves the same deterministic request streams the \
+         $(b,serve) campaign uses. A seeded heartbeat monitor drives the \
+         health state machine (healthy, suspect, quarantined, dead, \
+         standby); $(b,--kill) freezes a device so the monitor \
+         quarantines it, drains it, and re-shards its tenants onto \
+         survivors, replaying unacknowledged commands with bounded \
+         backoff — at-least-once delivery with transaction-id \
+         deduplication, so no acknowledged command is lost and none \
+         applies twice. The campaign is run twice in-process; the run \
+         exits 1 if the digests differ, any accounting invariant is \
+         violated, an acknowledged command was lost, or a scheduled kill \
+         quarantined nothing.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "cluster" ~doc ~man)
+    Term.(
+      const cluster_run $ seed_arg $ cluster_devices_arg $ cluster_warm_arg
+      $ cluster_duration_arg $ cluster_rate_arg $ cluster_kill_arg
+      $ cluster_restore_arg $ cluster_curve_arg)
+
 let gen_term =
   Term.(const run $ design_arg $ platform_arg $ cores_arg $ emit_arg $ out_arg)
 
@@ -875,6 +1019,6 @@ let cmd =
   let doc = "compose a Beethoven accelerator system and emit its artifacts" in
   let info = Cmd.info "beethoven_gen" ~version:"1.0" ~doc in
   Cmd.group ~default:gen_term info
-    [ lint_cmd; sta_cmd; sim_cmd; fault_cmd; trace_cmd; serve_cmd ]
+    [ lint_cmd; sta_cmd; sim_cmd; fault_cmd; trace_cmd; serve_cmd; cluster_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1489 @@
+module B = Beethoven
+module H = Runtime.Handle
+module S = Desim.Stats
+module Mix = Serve.Mix
+module Tenant = Serve.Tenant
+
+module Health = struct
+  type state = Healthy | Suspect | Quarantined | Dead | Standby
+
+  let name = function
+    | Healthy -> "healthy"
+    | Suspect -> "suspect"
+    | Quarantined -> "quarantined"
+    | Dead -> "dead"
+    | Standby -> "standby"
+end
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  cl_seed : int;
+  cl_duration_ps : int;
+  cl_tenants : Tenant.t list;
+  cl_devices : int;
+  cl_warm : int;
+  cl_platforms : Platform.Device.t list;
+  cl_n_cores : int;
+  cl_core_cap : int;
+  cl_heartbeat_ps : int;
+  cl_suspect_misses : int;
+  cl_quarantine_misses : int;
+  cl_drain_ps : int;
+  cl_replay_max_retries : int;
+  cl_replay_backoff_ps : int;
+  cl_resident_bytes : int;
+  cl_promote_strikes : int;
+  cl_slo_hot_frac : float;
+  cl_max_events : int;
+}
+
+let config ?(seed = 42) ?(duration_ps = 2_000_000_000) ?(devices = 2)
+    ?warm
+    ?(platforms =
+      [ Platform.Device.aws_f1; Platform.Device.u200; Platform.Device.kria ])
+    ?(n_cores = 2) ?(core_cap = 4) ?(heartbeat_ps = 50_000_000)
+    ?(suspect_misses = 2) ?(quarantine_misses = 4)
+    ?(drain_ps = 150_000_000) ?(replay_max_retries = 3)
+    ?(replay_backoff_ps = 20_000_000) ?(resident_bytes = 64 * 1024)
+    ?(promote_strikes = 3) ?(slo_hot_frac = 0.5) ?(max_events = 50_000_000)
+    ~tenants () =
+  if tenants = [] then invalid_arg "Cluster.config: no tenants";
+  if devices < 1 then invalid_arg "Cluster.config: devices must be >= 1";
+  let warm = match warm with Some w -> w | None -> devices in
+  if warm < 1 || warm > devices then
+    invalid_arg "Cluster.config: warm must be in [1, devices]";
+  if platforms = [] then invalid_arg "Cluster.config: no platforms";
+  if heartbeat_ps < 1 then invalid_arg "Cluster.config: heartbeat must be >= 1";
+  if quarantine_misses < suspect_misses then
+    invalid_arg "Cluster.config: quarantine_misses < suspect_misses";
+  {
+    cl_seed = seed;
+    cl_duration_ps = duration_ps;
+    cl_tenants = tenants;
+    cl_devices = devices;
+    cl_warm = warm;
+    cl_platforms = platforms;
+    cl_n_cores = n_cores;
+    cl_core_cap = core_cap;
+    cl_heartbeat_ps = heartbeat_ps;
+    cl_suspect_misses = suspect_misses;
+    cl_quarantine_misses = quarantine_misses;
+    cl_drain_ps = drain_ps;
+    cl_replay_max_retries = replay_max_retries;
+    cl_replay_backoff_ps = replay_backoff_ps;
+    cl_resident_bytes = resident_bytes;
+    cl_promote_strikes = promote_strikes;
+    cl_slo_hot_frac = slo_hot_frac;
+    cl_max_events = max_events;
+  }
+
+type chaos =
+  | Kill of { at : int; dev : int }
+  | Restore of { at : int; dev : int }
+
+(* ------------------------------------------------------------------ *)
+(* Cluster state                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type request = {
+  cr_txn : int;  (* cluster-wide ack id: the dedup key *)
+  cr_tenant : int;
+  cr_class : Mix.klass;
+  cr_arrival : int;
+  cr_deadline : int;
+  mutable cr_attempts : int;  (* replay attempts so far *)
+  cr_k : (unit -> unit) option;  (* closed-loop continuation *)
+}
+
+type inflight = {
+  il_req : request;
+  il_gen : int;  (* device generation the command was sent to *)
+}
+
+type devstate = {
+  dv_slot : int;
+  dv_platform : Platform.Device.t;
+  mutable dv_gen : int;
+  mutable dv_handle : H.t;
+  mutable dv_inj : Fault.Injector.t option;
+  mutable dv_tracer : Trace.t option;
+  mutable dv_state : Health.state;
+  mutable dv_frozen : bool;  (* engine excluded from the lockstep *)
+  mutable dv_misses : int;  (* consecutive missed heartbeats *)
+  mutable dv_brownout : int;  (* probes still inside a brownout window *)
+  mutable dv_vt : float;  (* per-device SFQ virtual time *)
+  dv_out : int array array;  (* [system][core] outstanding *)
+  dv_inflight : (int, inflight) Hashtbl.t;  (* txn -> record *)
+  mutable dv_dispatched : int;
+  mutable dv_completed : int;
+  mutable dv_busy_prev : int;  (* server busy accumulated by dead gens *)
+  mutable dv_transitions : (int * Health.state) list;  (* reverse *)
+}
+
+type ctstate = {
+  ct_t : Tenant.t;
+  ct_index : int;
+  mutable ct_home : int;  (* device slot *)
+  mutable ct_resident : H.remote_ptr option;
+  mutable ct_degraded : bool;
+  ct_queue : request Queue.t;
+  mutable ct_vft : float;
+  mutable ct_offered : int;
+  mutable ct_admitted : int;
+  mutable ct_shed_queue : int;
+  mutable ct_shed_deadline : int;
+  mutable ct_shed_degraded : int;
+  mutable ct_completed : int;
+  mutable ct_failed : int;
+  mutable ct_bad : int;
+  mutable ct_slo_viol : int;
+  mutable ct_bytes : int;
+  ct_q_wait : S.series;
+  ct_service : S.series;
+  ct_collect : S.series;
+  ct_total : S.series;
+}
+
+(* Coordinator agenda: host-level actions (heartbeats, chaos, drain
+   deadlines, replay backoffs) executed between lockstep rounds, when
+   every live engine clock agrees. A sorted list keyed by (time, seq) —
+   seq keeps same-time actions in insertion order. *)
+type agenda_item = { ag_time : int; ag_seq : int; ag_act : unit -> unit }
+
+type cstate = {
+  st_cfg : config;
+  st_host : Desim.Engine.t;  (* clients + host-side bookkeeping *)
+  st_kinds : Mix.kind list;
+  st_tenants : ctstate array;
+  st_devices : devstate array;
+  st_plan : Fault.Plan.t;
+  st_policy : Fault.Policy.t option;
+  st_tracer : Trace.t option;
+  mutable st_next_txn : int;
+  st_acked : (int, unit) Hashtbl.t;
+  mutable st_duplicates : int;
+  mutable st_replays : int;
+  mutable st_replayed_ok : int;
+  mutable st_quarantines : int;
+  mutable st_promotions : int;
+  mutable st_resharded : (string * int * int) list;  (* reverse *)
+  mutable st_agenda : agenda_item list;  (* sorted by (time, seq) *)
+  mutable st_agenda_seq : int;
+  mutable st_dirty : bool;  (* some device may have dispatchable work *)
+  mutable st_win_completed : int;  (* completions since the last probe *)
+  mutable st_win_viol : int;
+  mutable st_strikes : int;  (* consecutive hot probe windows *)
+}
+
+let now st = Desim.Engine.now st.st_host
+
+let schedule_action st ~at act =
+  let it = { ag_time = at; ag_seq = st.st_agenda_seq; ag_act = act } in
+  st.st_agenda_seq <- st.st_agenda_seq + 1;
+  let rec ins = function
+    | [] -> [ it ]
+    | hd :: tl ->
+        if
+          hd.ag_time < it.ag_time
+          || (hd.ag_time = it.ag_time && hd.ag_seq < it.ag_seq)
+        then hd :: ins tl
+        else it :: hd :: tl
+  in
+  st.st_agenda <- ins st.st_agenda
+
+let bump st name =
+  match st.st_tracer with None -> () | Some tr -> Trace.add tr name 1
+
+let transition st dv state =
+  if dv.dv_state <> state then begin
+    dv.dv_state <- state;
+    dv.dv_transitions <- (now st, state) :: dv.dv_transitions;
+    match st.st_tracer with
+    | None -> ()
+    | Some tr ->
+        Trace.instant tr ~now:(now st) ~track:"cluster/health" ~cat:"health"
+          ~name:(Printf.sprintf "dev%d->%s" dv.dv_slot (Health.name state))
+          ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Device boot                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let kinds_used tenants =
+  let used k =
+    List.exists
+      (fun t -> List.exists (fun c -> c.Mix.k_kind = k) t.Tenant.t_mix)
+      tenants
+  in
+  List.filter used [ Mix.Memcpy; Mix.Vecadd ]
+
+let sys_index kinds (kind : Mix.kind) =
+  let rec go i = function
+    | [] -> invalid_arg "Cluster: request kind has no deployed system"
+    | k :: tl -> if k = kind then i else go (i + 1) tl
+  in
+  go 0 kinds
+
+(* Boot one SoC generation into a slot. Each generation gets its own
+   forked injector (scope = slot + devices * gen), so sibling devices
+   and successive reboots draw from independent seeded streams. *)
+let boot_soc cfg ~plan ~policy ~traced ~slot ~gen ~platform =
+  let kinds = kinds_used cfg.cl_tenants in
+  let systems =
+    List.map
+      (function
+        | Mix.Memcpy -> Kernels.Memcpy.system ~n_cores:cfg.cl_n_cores
+        | Mix.Vecadd -> Kernels.Vecadd.system ~n_cores:cfg.cl_n_cores)
+      kinds
+  in
+  let root = Fault.Injector.create plan in
+  let inj =
+    Fault.Injector.fork root ~scope:(slot + (cfg.cl_devices * gen))
+  in
+  let design =
+    B.Elaborate.elaborate
+      (B.Config.make ~name:(Printf.sprintf "dev%d" slot) systems)
+      platform
+  in
+  let behaviors name =
+    if name = "Memcpy" then Kernels.Memcpy.behavior else Kernels.Vecadd.behavior
+  in
+  let tracer =
+    if traced then Some (Trace.create ~device:(Printf.sprintf "dev%d" slot) ())
+    else None
+  in
+  (* 128 MB of device memory: embedded slots model a hugetlb pool of
+     half their memory in 2 MB slots, and every outstanding request
+     holds two hugepage-backed buffers — the default 64 MB pool (16
+     slots) is exactly exhaustible at full core occupancy *)
+  let soc =
+    B.Soc.create ~memory_bytes:(128 * 1024 * 1024) ?tracer ~fault:inj ?policy
+      design ~behaviors
+  in
+  (B.Soc.engine soc, H.create soc, inj, tracer)
+
+let fresh_device cfg ~plan ~policy ~traced ~slot ~state =
+  let platform =
+    List.nth cfg.cl_platforms (slot mod List.length cfg.cl_platforms)
+  in
+  let _, handle, inj, tracer =
+    boot_soc cfg ~plan ~policy ~traced ~slot ~gen:0 ~platform
+  in
+  let n_sys = List.length (kinds_used cfg.cl_tenants) in
+  {
+    dv_slot = slot;
+    dv_platform = platform;
+    dv_gen = 0;
+    dv_handle = handle;
+    dv_inj = Some inj;
+    dv_tracer = tracer;
+    dv_state = state;
+    dv_frozen = false;
+    dv_misses = 0;
+    dv_brownout = 0;
+    dv_vt = 0.;
+    dv_out = Array.init n_sys (fun _ -> Array.make cfg.cl_n_cores 0);
+    dv_inflight = Hashtbl.create 64;
+    dv_dispatched = 0;
+    dv_completed = 0;
+    dv_busy_prev = 0;
+    dv_transitions = [ (0, state) ];
+  }
+
+let dev_engine dv = H.engine dv.dv_handle
+
+(* Reboot a killed slot: the old generation's server-busy total is
+   banked, a fresh SoC (next generation, fresh forked injector) joins
+   the standby pool with its engine clock synced to cluster time. *)
+let reboot st dv =
+  let cfg = st.st_cfg in
+  dv.dv_busy_prev <- dv.dv_busy_prev + H.server_busy_ps dv.dv_handle;
+  dv.dv_gen <- dv.dv_gen + 1;
+  let traced = dv.dv_tracer <> None || (st.st_tracer <> None) in
+  let engine, handle, inj, tracer =
+    boot_soc cfg ~plan:st.st_plan ~policy:st.st_policy ~traced
+      ~slot:dv.dv_slot ~gen:dv.dv_gen ~platform:dv.dv_platform
+  in
+  Desim.Engine.run ~until:(now st) engine;
+  dv.dv_handle <- handle;
+  dv.dv_inj <- Some inj;
+  dv.dv_tracer <- tracer;
+  dv.dv_frozen <- false;
+  dv.dv_misses <- 0;
+  dv.dv_brownout <- 0;
+  dv.dv_vt <- 0.;
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) 0) dv.dv_out;
+  Hashtbl.reset dv.dv_inflight;
+  transition st dv Health.Standby
+
+(* ------------------------------------------------------------------ *)
+(* Placement                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let is_active dv =
+  (not dv.dv_frozen)
+  && (dv.dv_state = Health.Healthy || dv.dv_state = Health.Suspect)
+
+(* Least total homed tenant weight among active devices; ties to the
+   lowest slot. *)
+let pick_home st =
+  let load = Array.make (Array.length st.st_devices) 0. in
+  Array.iter
+    (fun ts ->
+      if ts.ct_home >= 0 && not ts.ct_degraded then
+        load.(ts.ct_home) <- load.(ts.ct_home) +. ts.ct_t.Tenant.t_weight)
+    st.st_tenants;
+  let best = ref (-1) in
+  Array.iter
+    (fun dv ->
+      if is_active dv then
+        if !best < 0 || load.(dv.dv_slot) < load.(!best) then
+          best := dv.dv_slot)
+    st.st_devices;
+  if !best >= 0 then Some !best else None
+
+(* Move a tenant's residence: free the working set on the old device
+   (pure allocator bookkeeping even on a frozen device) and allocate on
+   the new home — the data-locality cost a re-shard pays. *)
+let rehome st ts ~target =
+  let cfg = st.st_cfg in
+  (match (ts.ct_resident, ts.ct_home) with
+  | Some ptr, from when from >= 0 -> (
+      try H.mfree st.st_devices.(from).dv_handle ptr with _ -> ())
+  | _ -> ());
+  ts.ct_home <- target;
+  ts.ct_resident <-
+    (if target >= 0 then
+       Some (H.malloc st.st_devices.(target).dv_handle cfg.cl_resident_bytes)
+     else None);
+  if target >= 0 then st.st_dirty <- true
+
+let degrade st ts =
+  if not ts.ct_degraded then begin
+    ts.ct_degraded <- true;
+    bump st "cluster.degraded";
+    (match (ts.ct_resident, ts.ct_home) with
+    | Some ptr, from when from >= 0 -> (
+        try H.mfree st.st_devices.(from).dv_handle ptr with _ -> ())
+    | _ -> ());
+    ts.ct_resident <- None;
+    ts.ct_home <- -1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Least-outstanding-work core within a device's system, respecting the
+   per-core cap and preferring non-quarantined cores (same rule as the
+   single-SoC dispatcher). *)
+let choose_core st dv ~si =
+  let cap = st.st_cfg.cl_core_cap in
+  let out = dv.dv_out.(si) in
+  let best = ref (-1) and best_q = ref (-1) in
+  Array.iteri
+    (fun c o ->
+      if o < cap then
+        if H.is_quarantined dv.dv_handle ~system_id:si ~core_id:c then (
+          if !best_q < 0 || o < out.(!best_q) then best_q := c)
+        else if !best < 0 || o < out.(!best) then best := c)
+    out;
+  if !best >= 0 then Some !best else if !best_q >= 0 then Some !best_q
+  else None
+
+(* Settle a request's outcome against the cluster ledgers. The txn id
+   is the ack id: the first completion wins; any later completion of
+   the same txn (a browned-out device finishing a command that was
+   already replayed elsewhere) is dropped by the dedup check. *)
+let ack st ts (r : request) ~replayed ~submit_ps ~seen_ps ~done_ps v expect =
+  if Hashtbl.mem st.st_acked r.cr_txn then begin
+    st.st_duplicates <- st.st_duplicates + 1;
+    bump st "cluster.duplicate_dropped"
+  end
+  else begin
+    Hashtbl.replace st.st_acked r.cr_txn ();
+    ts.ct_completed <- ts.ct_completed + 1;
+    if v <> expect then ts.ct_bad <- ts.ct_bad + 1;
+    ts.ct_bytes <- ts.ct_bytes + r.cr_class.Mix.k_bytes;
+    if replayed then st.st_replayed_ok <- st.st_replayed_ok + 1;
+    let us ps = float_of_int ps /. 1e6 in
+    let total = done_ps - r.cr_arrival in
+    S.observe ts.ct_q_wait (us (submit_ps - r.cr_arrival));
+    S.observe ts.ct_service (us (seen_ps - submit_ps));
+    S.observe ts.ct_collect (us (done_ps - seen_ps));
+    S.observe ts.ct_total (us total);
+    st.st_win_completed <- st.st_win_completed + 1;
+    if total > ts.ct_t.Tenant.t_slo_ps then begin
+      ts.ct_slo_viol <- ts.ct_slo_viol + 1;
+      st.st_win_viol <- st.st_win_viol + 1
+    end;
+    bump st "cluster.completed"
+  end;
+  match r.cr_k with Some k -> k () | None -> ()
+
+let fail_request st ts (r : request) =
+  ts.ct_failed <- ts.ct_failed + 1;
+  bump st "cluster.failed";
+  match r.cr_k with Some k -> k () | None -> ()
+
+(* Submit one request on its tenant's home device. Runs only from the
+   coordinator (between lockstep rounds) or from a callback of the same
+   device's engine, so the target engine clock always equals cluster
+   time. *)
+let rec submit st ts (r : request) =
+  let dv = st.st_devices.(ts.ct_home) in
+  let h = dv.dv_handle in
+  let gen = dv.dv_gen in
+  let si = sys_index st.st_kinds r.cr_class.Mix.k_kind in
+  match choose_core st dv ~si with
+  | None -> assert false (* caller reserved capacity *)
+  | Some core ->
+      dv.dv_out.(si).(core) <- dv.dv_out.(si).(core) + 1;
+      dv.dv_dispatched <- dv.dv_dispatched + 1;
+      let bytes = r.cr_class.Mix.k_bytes in
+      let a = H.malloc h bytes and b = H.malloc h bytes in
+      let submit_ps = Desim.Engine.now (dev_engine dv) in
+      let args, cmd, expect =
+        match r.cr_class.Mix.k_kind with
+        | Mix.Memcpy ->
+            ( [
+                ("src", Int64.of_int a.H.rp_addr);
+                ("dst", Int64.of_int b.H.rp_addr);
+                ("bytes", Int64.of_int bytes);
+              ],
+              Kernels.Memcpy.command,
+              Int64.of_int bytes )
+        | Mix.Vecadd ->
+            let n_eles = bytes / 4 in
+            ( [
+                ("addend", 1L);
+                ("vec_addr", Int64.of_int a.H.rp_addr);
+                ("out_addr", Int64.of_int b.H.rp_addr);
+                ("n_eles", Int64.of_int n_eles);
+              ],
+              Kernels.Vecadd.command,
+              Int64.of_int n_eles )
+      in
+      let replayed = r.cr_attempts > 0 in
+      Hashtbl.replace dv.dv_inflight r.cr_txn { il_req = r; il_gen = gen };
+      let rh =
+        H.send ~queued_at:r.cr_arrival h
+          ~system:(Mix.kind_system r.cr_class.Mix.k_kind)
+          ~core ~cmd ~args
+      in
+      H.on_settled rh (fun res ->
+          (* Fires inside this device's engine (or synchronously from a
+             coordinator-driven send); if the generation moved on, the
+             registry entry belongs to a newer boot and stays. *)
+          let done_ps = Desim.Engine.now (dev_engine dv) in
+          (try
+             H.mfree h a;
+             H.mfree h b
+           with _ -> ());
+          dv.dv_out.(si).(core) <- dv.dv_out.(si).(core) - 1;
+          (match Hashtbl.find_opt dv.dv_inflight r.cr_txn with
+          | Some il when il.il_gen = gen ->
+              Hashtbl.remove dv.dv_inflight r.cr_txn
+          | _ -> ());
+          (match res with
+          | Ok v ->
+              dv.dv_completed <- dv.dv_completed + 1;
+              let seen_ps =
+                match H.response_seen_at rh with
+                | Some s -> s
+                | None -> done_ps
+              in
+              (match st.st_tracer with
+              | None -> ()
+              | Some tr ->
+                  ignore
+                    (Trace.complete_span tr ~start:r.cr_arrival ~stop:done_ps
+                       ~track:(Printf.sprintf "cluster/%s" ts.ct_t.Tenant.t_name)
+                       ~cat:"cluster" ~name:r.cr_class.Mix.k_label
+                       ~args:
+                         [
+                           ("device", Trace.Int dv.dv_slot);
+                           ("txn", Trace.Int r.cr_txn);
+                         ]
+                       ()));
+              ack st ts r ~replayed ~submit_ps ~seen_ps ~done_ps v expect
+          | Error _ ->
+              (* The device-local watchdog exhausted recovery (every
+                 core quarantined). Retry elsewhere with backoff while
+                 the budget lasts — the same path a post-drain replay
+                 takes. *)
+              retry_or_fail st ts r);
+          st.st_dirty <- true)
+
+(* Bounded-exponential-backoff replay of a command that either lost its
+   device (drain deadline passed) or failed device-local recovery. *)
+and retry_or_fail st ts (r : request) =
+  if Hashtbl.mem st.st_acked r.cr_txn then ()
+  else if r.cr_attempts >= st.st_cfg.cl_replay_max_retries then
+    fail_request st ts r
+  else begin
+    let delay =
+      st.st_cfg.cl_replay_backoff_ps * (1 lsl r.cr_attempts)
+    in
+    r.cr_attempts <- r.cr_attempts + 1;
+    st.st_replays <- st.st_replays + 1;
+    bump st "cluster.replay";
+    schedule_action st ~at:(now st + delay) (fun () -> replay st ts r)
+  end
+
+and replay st ts (r : request) =
+  if Hashtbl.mem st.st_acked r.cr_txn then ()
+  else if ts.ct_degraded || ts.ct_home < 0 then fail_request st ts r
+  else begin
+    let dv = st.st_devices.(ts.ct_home) in
+    let si = sys_index st.st_kinds r.cr_class.Mix.k_kind in
+    if (not (is_active dv)) || choose_core st dv ~si = None then
+      (* home busy or gone: burn an attempt and back off again *)
+      retry_or_fail st ts r
+    else submit st ts r
+  end
+
+(* Shed expired heads of a tenant queue (per-tenant FIFO: an unexpired
+   head proves nothing behind it expired). A degraded tenant sheds its
+   whole queue — graceful degradation accounts those separately. *)
+let shed_queue_head st ts =
+  let t = now st in
+  let rec go () =
+    if ts.ct_degraded then
+      match Queue.take_opt ts.ct_queue with
+      | Some r ->
+          ts.ct_shed_degraded <- ts.ct_shed_degraded + 1;
+          bump st "cluster.shed_degraded";
+          (match r.cr_k with Some k -> k () | None -> ());
+          go ()
+      | None -> ()
+    else
+      match Queue.peek_opt ts.ct_queue with
+      | Some r when t > r.cr_deadline ->
+          ignore (Queue.pop ts.ct_queue);
+          ts.ct_shed_deadline <- ts.ct_shed_deadline + 1;
+          bump st "cluster.shed_deadline";
+          (match r.cr_k with Some k -> k () | None -> ());
+          go ()
+      | _ -> ()
+  in
+  go ()
+
+(* Start-time fair queueing across the tenants homed on one device —
+   the same SFQ rule as the single-SoC dispatcher, with a per-device
+   virtual clock. *)
+let pick_next st dv =
+  let cand = ref None in
+  Array.iter
+    (fun ts ->
+      shed_queue_head st ts;
+      if ts.ct_home = dv.dv_slot && not ts.ct_degraded then
+        match Queue.peek_opt ts.ct_queue with
+        | None -> ()
+        | Some r -> (
+            let si = sys_index st.st_kinds r.cr_class.Mix.k_kind in
+            match choose_core st dv ~si with
+            | None -> ()  (* system saturated on this device *)
+            | Some _ ->
+                let key = Float.max ts.ct_vft dv.dv_vt in
+                let better =
+                  match !cand with None -> true | Some (k, _, _) -> key < k
+                in
+                if better then cand := Some (key, ts, r)))
+    st.st_tenants;
+  match !cand with
+  | None -> None
+  | Some (_, ts, r) ->
+      ignore (Queue.pop ts.ct_queue);
+      let start = Float.max ts.ct_vft dv.dv_vt in
+      ts.ct_vft <-
+        start +. (float_of_int r.cr_class.Mix.k_bytes /. ts.ct_t.Tenant.t_weight);
+      dv.dv_vt <- start;
+      Some (ts, r)
+
+let pump_device st dv =
+  if is_active dv then begin
+    let continue_ = ref true in
+    while !continue_ do
+      match pick_next st dv with
+      | None -> continue_ := false
+      | Some (ts, r) -> submit st ts r
+    done
+  end
+
+let pump_all st =
+  while st.st_dirty do
+    st.st_dirty <- false;
+    Array.iter (fun dv -> pump_device st dv) st.st_devices;
+    (* a degraded tenant's queue still needs shedding even though no
+       device pumps it *)
+    Array.iter
+      (fun ts -> if ts.ct_degraded then shed_queue_head st ts)
+      st.st_tenants
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Admission + clients                                                *)
+(* ------------------------------------------------------------------ *)
+
+let offer st ts ~klass ~k =
+  ts.ct_offered <- ts.ct_offered + 1;
+  bump st "cluster.offered";
+  if Queue.length ts.ct_queue >= ts.ct_t.Tenant.t_queue_cap then begin
+    ts.ct_shed_queue <- ts.ct_shed_queue + 1;
+    bump st "cluster.shed_queue";
+    false
+  end
+  else begin
+    let t = now st in
+    let txn = st.st_next_txn in
+    st.st_next_txn <- txn + 1;
+    Queue.push
+      {
+        cr_txn = txn;
+        cr_tenant = ts.ct_index;
+        cr_class = klass;
+        cr_arrival = t;
+        cr_deadline = t + ts.ct_t.Tenant.t_deadline_ps;
+        cr_attempts = 0;
+        cr_k = k;
+      }
+      ts.ct_queue;
+    ts.ct_admitted <- ts.ct_admitted + 1;
+    bump st "cluster.admitted";
+    st.st_dirty <- true;
+    true
+  end
+
+(* The same seeded client machinery as the single-SoC campaign,
+   generating arrivals on the host engine: per-client streams derive
+   from (seed, tenant, client) only, so the offered load is identical
+   for any placement, device count, or chaos schedule. *)
+let start_clients st =
+  let cfg = st.st_cfg in
+  let horizon = cfg.cl_duration_ps in
+  let engine = st.st_host in
+  Array.iteri
+    (fun ti ts ->
+      let t = ts.ct_t in
+      for ci = 0 to t.Tenant.t_clients - 1 do
+        let rng = Serve.client_rng ~seed:cfg.cl_seed ~tenant:ti ~client:ci in
+        match t.Tenant.t_load with
+        | Tenant.Open_loop { rate_rps } ->
+            if rate_rps <= 0. then
+              invalid_arg "Cluster: open-loop rate must be > 0";
+            let mean_ps = 1e12 /. rate_rps in
+            let rec arrive () =
+              if Desim.Engine.now engine < horizon then begin
+                ignore
+                  (offer st ts ~klass:(Serve.draw_class rng t.Tenant.t_mix)
+                     ~k:None);
+                Desim.Engine.schedule engine
+                  ~delay:(Serve.exp_draw rng ~mean_ps)
+                  arrive
+              end
+            in
+            Desim.Engine.schedule engine
+              ~delay:(Serve.exp_draw rng ~mean_ps)
+              arrive
+        | Tenant.Closed_loop { think_ps } ->
+            let rec issue () =
+              if Desim.Engine.now engine < horizon then begin
+                let k () =
+                  Desim.Engine.schedule engine ~delay:(max 1 think_ps) issue
+                in
+                if
+                  not
+                    (offer st ts
+                       ~klass:(Serve.draw_class rng t.Tenant.t_mix)
+                       ~k:(Some k))
+                then
+                  Desim.Engine.schedule engine
+                    ~delay:(max think_ps 1_000_000)
+                    issue
+              end
+            in
+            Desim.Engine.schedule engine
+              ~delay:(1 + Fault.Rng.int rng ~bound:(max 1 (think_ps + 1)))
+              issue
+      done)
+    st.st_tenants
+
+(* ------------------------------------------------------------------ *)
+(* Health: quarantine, drain, re-shard, promotion                     *)
+(* ------------------------------------------------------------------ *)
+
+(* After the drain deadline: every still-unacknowledged command of the
+   drained generation is replayed on its tenant's new home. Replays go
+   through the same backoff budget as device-local failures. Then the
+   device is frozen — a browned-out (alive) device gets no further
+   engine time, so a late completion there can only arrive before this
+   point and is deduped by the ack table. *)
+let finish_drain st dv ~gen =
+  if dv.dv_gen = gen then begin
+    let stuck =
+      Hashtbl.fold
+        (fun txn il acc -> if il.il_gen = gen then (txn, il) :: acc else acc)
+        dv.dv_inflight []
+    in
+    let stuck = List.sort (fun (a, _) (b, _) -> compare a b) stuck in
+    List.iter
+      (fun (txn, il) ->
+        Hashtbl.remove dv.dv_inflight txn;
+        if not (Hashtbl.mem st.st_acked txn) then begin
+          let ts = st.st_tenants.(il.il_req.cr_tenant) in
+          retry_or_fail st ts il.il_req
+        end)
+      stuck;
+    dv.dv_frozen <- true;
+    if dv.dv_state <> Health.Dead then transition st dv Health.Dead
+  end
+
+(* Quarantine a device: log it, stop admitting, re-home its tenants to
+   the least-loaded survivor (or degrade, lowest weight first, when no
+   survivor exists), and arm the drain deadline. *)
+let quarantine_device st dv ~reason =
+  if dv.dv_state <> Health.Quarantined && dv.dv_state <> Health.Dead then begin
+    st.st_quarantines <- st.st_quarantines + 1;
+    bump st "cluster.quarantine";
+    (match dv.dv_inj with
+    | Some inj ->
+        Fault.Injector.log inj ~now:(now st) ~cls:Fault.Class.Device_offline
+          ~kind:Fault.Log.Quarantined
+          ~site:(Printf.sprintf "dev%d: %s" dv.dv_slot reason)
+    | None -> ());
+    transition st dv Health.Quarantined;
+    let victims =
+      Array.to_list st.st_tenants
+      |> List.filter (fun ts -> ts.ct_home = dv.dv_slot)
+    in
+    List.iter
+      (fun ts ->
+        match pick_home st with
+        | Some target ->
+            st.st_resharded <-
+              (ts.ct_t.Tenant.t_name, dv.dv_slot, target) :: st.st_resharded;
+            bump st "cluster.reshard";
+            rehome st ts ~target
+        | None -> ())
+      victims;
+    (* No survivor: shed load, lowest weight first, until the ones we
+       cannot place are marked degraded. *)
+    Array.to_list st.st_tenants
+    |> List.filter (fun ts -> ts.ct_home = dv.dv_slot)
+    |> List.sort (fun a b ->
+           compare
+             (a.ct_t.Tenant.t_weight, a.ct_index)
+             (b.ct_t.Tenant.t_weight, b.ct_index))
+    |> List.iter (fun ts -> degrade st ts);
+    let gen = dv.dv_gen in
+    schedule_action st
+      ~at:(now st + st.st_cfg.cl_drain_ps)
+      (fun () -> finish_drain st dv ~gen)
+  end
+
+(* Promote a standby device into service. Re-admit degraded tenants
+   (highest weight first) onto it; with none degraded, migrate the
+   most-backlogged tenant so the fresh capacity actually serves. *)
+let promote st dv =
+  if dv.dv_state = Health.Standby && not dv.dv_frozen then begin
+    st.st_promotions <- st.st_promotions + 1;
+    bump st "cluster.promote";
+    transition st dv Health.Healthy;
+    let degraded =
+      Array.to_list st.st_tenants
+      |> List.filter (fun ts -> ts.ct_degraded)
+      |> List.sort (fun a b ->
+             compare
+               (b.ct_t.Tenant.t_weight, a.ct_index)
+               (a.ct_t.Tenant.t_weight, b.ct_index))
+    in
+    match degraded with
+    | _ :: _ ->
+        List.iter
+          (fun ts ->
+            ts.ct_degraded <- false;
+            st.st_resharded <-
+              (ts.ct_t.Tenant.t_name, -1, dv.dv_slot) :: st.st_resharded;
+            rehome st ts ~target:dv.dv_slot)
+          degraded
+    | [] -> (
+        let cand = ref None in
+        Array.iter
+          (fun ts ->
+            let backlog = Queue.length ts.ct_queue in
+            if backlog > 0 && ts.ct_home >= 0 && ts.ct_home <> dv.dv_slot
+            then
+              match !cand with
+              | Some (b, _) when b >= backlog -> ()
+              | _ -> cand := Some (backlog, ts))
+          st.st_tenants;
+        match !cand with
+        | Some (_, ts) ->
+            st.st_resharded <-
+              (ts.ct_t.Tenant.t_name, ts.ct_home, dv.dv_slot)
+              :: st.st_resharded;
+            bump st "cluster.reshard";
+            rehome st ts ~target:dv.dv_slot
+        | None -> ())
+  end
+
+let cluster_busy st =
+  Array.exists (fun ts -> Queue.length ts.ct_queue > 0) st.st_tenants
+  || Array.exists (fun dv -> Hashtbl.length dv.dv_inflight > 0) st.st_devices
+
+(* One heartbeat round: probe every serving device, advance the health
+   state machine, then evaluate elastic promotion on the cluster-wide
+   SLO window. All decisions draw from each device's forked stream, so
+   the round is deterministic. *)
+let rec heartbeat st =
+  let cfg = st.st_cfg in
+  Array.iter
+    (fun dv ->
+      match dv.dv_state with
+      | Health.Healthy | Health.Suspect ->
+          let missed =
+            if dv.dv_frozen then true
+            else begin
+              (match dv.dv_inj with
+              | Some inj ->
+                  if
+                    dv.dv_brownout = 0
+                    && Fault.Injector.decide inj Fault.Class.Device_brownout
+                  then begin
+                    dv.dv_brownout <-
+                      1 + Fault.Injector.draw_int inj ~bound:cfg.cl_quarantine_misses;
+                    Fault.Injector.log inj ~now:(now st)
+                      ~cls:Fault.Class.Device_brownout ~kind:Fault.Log.Injected
+                      ~site:
+                        (Printf.sprintf "dev%d brownout %d probes" dv.dv_slot
+                           dv.dv_brownout)
+                  end
+              | None -> ());
+              if dv.dv_brownout > 0 then begin
+                dv.dv_brownout <- dv.dv_brownout - 1;
+                true
+              end
+              else
+                match dv.dv_inj with
+                | Some inj ->
+                    if Fault.Injector.decide inj Fault.Class.Heartbeat_loss
+                    then begin
+                      Fault.Injector.log inj ~now:(now st)
+                        ~cls:Fault.Class.Heartbeat_loss
+                        ~kind:Fault.Log.Injected
+                        ~site:(Printf.sprintf "dev%d probe lost" dv.dv_slot);
+                      true
+                    end
+                    else false
+                | None -> false
+            end
+          in
+          if missed then begin
+            dv.dv_misses <- dv.dv_misses + 1;
+            bump st "cluster.hb_miss";
+            if dv.dv_misses >= cfg.cl_quarantine_misses then
+              quarantine_device st dv
+                ~reason:
+                  (Printf.sprintf "%d consecutive missed heartbeats"
+                     dv.dv_misses)
+            else if dv.dv_misses >= cfg.cl_suspect_misses then
+              transition st dv Health.Suspect
+          end
+          else begin
+            (* a response heals a merely-suspect device: transient
+               heartbeat loss and short brownouts never quarantine *)
+            if dv.dv_misses > 0 then begin
+              dv.dv_misses <- 0;
+              if dv.dv_state = Health.Suspect then begin
+                transition st dv Health.Healthy;
+                (match dv.dv_inj with
+                | Some inj ->
+                    Fault.Injector.log inj ~now:(now st)
+                      ~cls:Fault.Class.Heartbeat_loss
+                      ~kind:Fault.Log.Recovered
+                      ~site:(Printf.sprintf "dev%d probes resumed" dv.dv_slot)
+                | None -> ())
+              end
+            end
+          end
+      | _ -> ())
+    st.st_devices;
+  (* Elastic promotion: sustained SLO violation (or stranded degraded
+     tenants) pulls a standby device into service. *)
+  let hot =
+    st.st_win_completed > 0
+    && float_of_int st.st_win_viol
+       > cfg.cl_slo_hot_frac *. float_of_int st.st_win_completed
+  in
+  st.st_win_completed <- 0;
+  st.st_win_viol <- 0;
+  if hot then st.st_strikes <- st.st_strikes + 1 else st.st_strikes <- 0;
+  let stranded = Array.exists (fun ts -> ts.ct_degraded) st.st_tenants in
+  if st.st_strikes >= cfg.cl_promote_strikes || stranded then begin
+    let standby =
+      Array.to_list st.st_devices
+      |> List.find_opt (fun dv ->
+             dv.dv_state = Health.Standby && not dv.dv_frozen)
+    in
+    match standby with
+    | Some dv ->
+        promote st dv;
+        st.st_strikes <- 0
+    | None -> ()
+  end;
+  if now st < cfg.cl_duration_ps || cluster_busy st then
+    schedule_action st ~at:(now st + cfg.cl_heartbeat_ps) (fun () ->
+        heartbeat st)
+
+(* ------------------------------------------------------------------ *)
+(* Chaos                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let kill_device st dv =
+  if not dv.dv_frozen then begin
+    (match dv.dv_inj with
+    | Some inj ->
+        Fault.Injector.log inj ~now:(now st) ~cls:Fault.Class.Device_offline
+          ~kind:Fault.Log.Injected
+          ~site:(Printf.sprintf "dev%d offline" dv.dv_slot)
+    | None -> ());
+    bump st "cluster.kill";
+    (* the engine freezes: nothing in flight there ever settles; the
+       heartbeat monitor notices, quarantines, drains, and re-shards *)
+    dv.dv_frozen <- true;
+    if dv.dv_state = Health.Standby then transition st dv Health.Dead
+  end
+
+let restore_device st dv =
+  if dv.dv_frozen then begin
+    bump st "cluster.restore";
+    (* a restore can land before the drain deadline fires; the reboot
+       bumps the generation (making the pending drain a no-op), so
+       replay whatever the dead generation still held first *)
+    let stuck =
+      Hashtbl.fold (fun txn il acc -> (txn, il) :: acc) dv.dv_inflight []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    List.iter
+      (fun (txn, il) ->
+        if not (Hashtbl.mem st.st_acked txn) then begin
+          let ts = st.st_tenants.(il.il_req.cr_tenant) in
+          retry_or_fail st ts il.il_req
+        end)
+      stuck;
+    reboot st dv
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Lockstep coordinator                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Conservative multi-engine lockstep: find the earliest pending event
+   across the host engine, every live device engine, and the agenda;
+   advance every live engine to that time (host first, then devices in
+   slot order — engines without events there just move their clock), and
+   iterate until no live engine holds an event at or before it. Agenda
+   actions and the dispatch pump run between rounds, when every live
+   clock agrees — so cross-engine calls (H.send from the coordinator,
+   closed-loop wakeups on the host engine from a device completion) are
+   always made at a single consistent cluster time. *)
+let drive st =
+  let cfg = st.st_cfg in
+  let live_engines () =
+    st.st_host
+    :: (Array.to_list st.st_devices
+       |> List.filter (fun dv -> not dv.dv_frozen)
+       |> List.map dev_engine)
+  in
+  let next_min () =
+    let engines = live_engines () in
+    let m =
+      List.fold_left
+        (fun acc e ->
+          match (Desim.Engine.next_time e, acc) with
+          | None, acc -> acc
+          | Some t, None -> Some t
+          | Some t, Some a -> Some (min t a))
+        None engines
+    in
+    match (st.st_agenda, m) with
+    | [], m -> m
+    | it :: _, None -> Some it.ag_time
+    | it :: _, Some a -> Some (min it.ag_time a)
+  in
+  let run_due_agenda () =
+    let rec go () =
+      match st.st_agenda with
+      | it :: tl when it.ag_time <= now st ->
+          st.st_agenda <- tl;
+          it.ag_act ();
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let rounds = ref 0 in
+  let rec loop () =
+    incr rounds;
+    if !rounds > cfg.cl_max_events then
+      failwith "Cluster: coordinator livelock (round budget exhausted)";
+    run_due_agenda ();
+    pump_all st;
+    match next_min () with
+    | None -> ()
+    | Some t ->
+        let fire () =
+          List.iter
+            (fun e -> Desim.Engine.run ~until:t ~max_events:cfg.cl_max_events e)
+            (live_engines ())
+        in
+        fire ();
+        (* same-time cascades across engines *)
+        let rec settle () =
+          let again =
+            List.exists
+              (fun e ->
+                match Desim.Engine.next_time e with
+                | Some t' -> t' <= t
+                | None -> false)
+              (live_engines ())
+          in
+          if again then begin
+            fire ();
+            settle ()
+          end
+        in
+        settle ();
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Run + report                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type device_report = {
+  dr_name : string;
+  dr_platform : string;
+  dr_state : Health.state;
+  dr_generations : int;
+  dr_dispatched : int;
+  dr_completed : int;
+  dr_busy_ps : int;
+  dr_utilization : float;
+  dr_transitions : (int * Health.state) list;
+  dr_injector : Fault.Injector.t option;
+}
+
+type report = {
+  c_seed : int;
+  c_duration_ps : int;
+  c_wall_ps : int;
+  c_tenants : Serve.tenant_report list;
+  c_devices : device_report list;
+  c_placements : (string * int) list;
+  c_resharded : (string * int * int) list;
+  c_quarantines : int;
+  c_promotions : int;
+  c_replays : int;
+  c_replayed_ok : int;
+  c_duplicates : int;
+  c_lost_acked : int;
+  c_degraded_sheds : int;
+  c_device_tracers : (string * Trace.t) list;
+}
+
+let run ?tracer ?plan ?fault_policy ?(chaos = []) cfg () =
+  let plan =
+    match plan with
+    | Some p -> p
+    | None -> { Fault.Plan.none with Fault.Plan.seed = cfg.cl_seed }
+  in
+  let st =
+    {
+      st_cfg = cfg;
+      st_host = Desim.Engine.create ();
+      st_kinds = kinds_used cfg.cl_tenants;
+      st_tenants =
+        Array.of_list
+          (List.mapi
+             (fun i t ->
+               {
+                 ct_t = t;
+                 ct_index = i;
+                 ct_home = -1;
+                 ct_resident = None;
+                 ct_degraded = false;
+                 ct_queue = Queue.create ();
+                 ct_vft = 0.;
+                 ct_offered = 0;
+                 ct_admitted = 0;
+                 ct_shed_queue = 0;
+                 ct_shed_deadline = 0;
+                 ct_shed_degraded = 0;
+                 ct_completed = 0;
+                 ct_failed = 0;
+                 ct_bad = 0;
+                 ct_slo_viol = 0;
+                 ct_bytes = 0;
+                 ct_q_wait = S.series ();
+                 ct_service = S.series ();
+                 ct_collect = S.series ();
+                 ct_total = S.series ();
+               })
+             cfg.cl_tenants);
+      st_devices =
+        Array.init cfg.cl_devices (fun slot ->
+            fresh_device cfg ~plan ~policy:fault_policy
+              ~traced:(tracer <> None) ~slot
+              ~state:
+                (if slot < cfg.cl_warm then Health.Healthy else Health.Standby));
+      st_plan = plan;
+      st_policy = fault_policy;
+      st_tracer = tracer;
+      st_next_txn = 0;
+      st_acked = Hashtbl.create 1024;
+      st_duplicates = 0;
+      st_replays = 0;
+      st_replayed_ok = 0;
+      st_quarantines = 0;
+      st_promotions = 0;
+      st_resharded = [];
+      st_agenda = [];
+      st_agenda_seq = 0;
+      st_dirty = false;
+      st_win_completed = 0;
+      st_win_viol = 0;
+      st_strikes = 0;
+    }
+  in
+  (* Initial placement: tenants in declaration order onto the least
+     weight-loaded warm device — data locality established by giving
+     each tenant its resident working set on its home. *)
+  Array.iter
+    (fun ts ->
+      match pick_home st with
+      | Some slot -> rehome st ts ~target:slot
+      | None -> degrade st ts)
+    st.st_tenants;
+  (* Chaos schedule and the first heartbeat go on the agenda. *)
+  List.iter
+    (function
+      | Kill { at; dev } ->
+          if dev < 0 || dev >= cfg.cl_devices then
+            invalid_arg "Cluster.run: chaos device out of range";
+          schedule_action st ~at (fun () ->
+              kill_device st st.st_devices.(dev))
+      | Restore { at; dev } ->
+          if dev < 0 || dev >= cfg.cl_devices then
+            invalid_arg "Cluster.run: chaos device out of range";
+          schedule_action st ~at (fun () ->
+              restore_device st st.st_devices.(dev)))
+    chaos;
+  schedule_action st ~at:cfg.cl_heartbeat_ps (fun () -> heartbeat st);
+  start_clients st;
+  drive st;
+  let wall_ps = now st in
+  let tenants =
+    Array.to_list
+      (Array.map
+         (fun ts ->
+           {
+             Serve.tr_name = ts.ct_t.Tenant.t_name;
+             tr_weight = ts.ct_t.Tenant.t_weight;
+             tr_offered = ts.ct_offered;
+             tr_admitted = ts.ct_admitted;
+             tr_shed_queue = ts.ct_shed_queue;
+             tr_shed_deadline = ts.ct_shed_deadline;
+             tr_shed_degraded = ts.ct_shed_degraded;
+             tr_completed = ts.ct_completed;
+             tr_failed = ts.ct_failed;
+             tr_bad_responses = ts.ct_bad;
+             tr_slo_violations = ts.ct_slo_viol;
+             tr_bytes_served = ts.ct_bytes;
+             tr_offered_rps =
+               float_of_int ts.ct_offered
+               /. (float_of_int cfg.cl_duration_ps /. 1e12);
+             tr_achieved_rps =
+               (if wall_ps = 0 then 0.
+                else
+                  float_of_int ts.ct_completed
+                  /. (float_of_int wall_ps /. 1e12));
+             tr_queue = Serve.phase_of ts.ct_q_wait;
+             tr_service = Serve.phase_of ts.ct_service;
+             tr_collect = Serve.phase_of ts.ct_collect;
+             tr_total = Serve.phase_of ts.ct_total;
+           })
+         st.st_tenants)
+  in
+  let devices =
+    Array.to_list
+      (Array.map
+         (fun dv ->
+           let busy = dv.dv_busy_prev + H.server_busy_ps dv.dv_handle in
+           {
+             dr_name = Printf.sprintf "dev%d" dv.dv_slot;
+             dr_platform = dv.dv_platform.Platform.Device.name;
+             dr_state = dv.dv_state;
+             dr_generations = dv.dv_gen + 1;
+             dr_dispatched = dv.dv_dispatched;
+             dr_completed = dv.dv_completed;
+             dr_busy_ps = busy;
+             dr_utilization =
+               (if wall_ps = 0 then 0.
+                else float_of_int busy /. float_of_int wall_ps);
+             dr_transitions = List.rev dv.dv_transitions;
+             dr_injector = dv.dv_inj;
+           })
+         st.st_devices)
+  in
+  let completed_total =
+    Array.fold_left (fun a ts -> a + ts.ct_completed) 0 st.st_tenants
+  in
+  {
+    c_seed = cfg.cl_seed;
+    c_duration_ps = cfg.cl_duration_ps;
+    c_wall_ps = wall_ps;
+    c_tenants = tenants;
+    c_devices = devices;
+    c_placements =
+      Array.to_list
+        (Array.map
+           (fun ts -> (ts.ct_t.Tenant.t_name, ts.ct_home))
+           st.st_tenants);
+    c_resharded = List.rev st.st_resharded;
+    c_quarantines = st.st_quarantines;
+    c_promotions = st.st_promotions;
+    c_replays = st.st_replays;
+    c_replayed_ok = st.st_replayed_ok;
+    c_duplicates = st.st_duplicates;
+    c_lost_acked = Hashtbl.length st.st_acked - completed_total;
+    c_degraded_sheds =
+      Array.fold_left (fun a ts -> a + ts.ct_shed_degraded) 0 st.st_tenants;
+    c_device_tracers =
+      Array.to_list st.st_devices
+      |> List.filter_map (fun dv ->
+             match dv.dv_tracer with
+             | Some tr -> Some (Printf.sprintf "dev%d" dv.dv_slot, tr)
+             | None -> None);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Accounting checks, digest, render                                  *)
+(* ------------------------------------------------------------------ *)
+
+let violations r =
+  let out = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  List.iter
+    (fun t ->
+      let open Serve in
+      if t.tr_offered <> t.tr_admitted + t.tr_shed_queue then
+        add "%s: offered %d <> admitted %d + shed-at-admission %d" t.tr_name
+          t.tr_offered t.tr_admitted t.tr_shed_queue;
+      if
+        t.tr_admitted
+        <> t.tr_completed + t.tr_shed_deadline + t.tr_shed_degraded
+           + t.tr_failed
+      then
+        add
+          "%s: admitted %d <> completed %d + shed-deadline %d + \
+           shed-degraded %d + failed %d"
+          t.tr_name t.tr_admitted t.tr_completed t.tr_shed_deadline
+          t.tr_shed_degraded t.tr_failed;
+      if t.tr_bad_responses > 0 then
+        add "%s: %d bad responses" t.tr_name t.tr_bad_responses)
+    r.c_tenants;
+  if r.c_lost_acked <> 0 then
+    add "cluster: %d acked commands missing from tenant ledgers"
+      r.c_lost_acked;
+  if r.c_duplicates < 0 then add "cluster: negative duplicate count";
+  List.rev !out
+
+let conserved r = violations r = []
+
+let digest r =
+  let b = Buffer.create 512 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "cluster seed=%d devs=%d wall=%d q=%d promo=%d replay=%d/%d dup=%d lost=%d"
+    r.c_seed
+    (List.length r.c_devices)
+    r.c_wall_ps r.c_quarantines r.c_promotions r.c_replayed_ok r.c_replays
+    r.c_duplicates r.c_lost_acked;
+  List.iter
+    (fun (d : device_report) ->
+      pf " | %s st=%s gen=%d disp=%d ok=%d busy=%d" d.dr_name
+        (Health.name d.dr_state) d.dr_generations d.dr_dispatched
+        d.dr_completed d.dr_busy_ps)
+    r.c_devices;
+  List.iter
+    (fun t ->
+      let open Serve in
+      pf " | %s off=%d adm=%d shq=%d shd=%d shg=%d ok=%d fail=%d slo=%d by=%d"
+        t.tr_name t.tr_offered t.tr_admitted t.tr_shed_queue
+        t.tr_shed_deadline t.tr_shed_degraded t.tr_completed t.tr_failed
+        t.tr_slo_violations t.tr_bytes_served;
+      match t.tr_total with
+      | Some p -> pf " p99=%.2f" p.ph_p99_us
+      | None -> pf " p99=-")
+    r.c_tenants;
+  Buffer.contents b
+
+let render r =
+  let b = Buffer.create 2048 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "cluster campaign: seed=%d devices=%d duration=%.0f us wall=%.0f us\n"
+    r.c_seed
+    (List.length r.c_devices)
+    (float_of_int r.c_duration_ps /. 1e6)
+    (float_of_int r.c_wall_ps /. 1e6);
+  pf
+    "  health: %d quarantines, %d promotions; %d replays (%d completed), %d \
+     duplicate acks dropped, %d lost acked\n"
+    r.c_quarantines r.c_promotions r.c_replays r.c_replayed_ok r.c_duplicates
+    r.c_lost_acked;
+  List.iter
+    (fun (d : device_report) ->
+      pf "  %-5s %-32s %-11s gen=%d disp=%-6d ok=%-6d util=%5.1f%%\n"
+        d.dr_name d.dr_platform
+        (Health.name d.dr_state)
+        d.dr_generations d.dr_dispatched d.dr_completed
+        (100. *. d.dr_utilization);
+      List.iter
+        (fun (t, s) ->
+          if t > 0 then
+            pf "        @%-10.0f -> %s\n"
+              (float_of_int t /. 1e6)
+              (Health.name s))
+        d.dr_transitions)
+    r.c_devices;
+  (match r.c_resharded with
+  | [] -> ()
+  | moves ->
+      pf "  re-shards:\n";
+      List.iter
+        (fun (name, from, to_) ->
+          if from < 0 then pf "    %s: degraded -> dev%d\n" name to_
+          else pf "    %s: dev%d -> dev%d\n" name from to_)
+        moves);
+  pf "  placements:";
+  List.iter
+    (fun (name, slot) ->
+      if slot < 0 then pf " %s=degraded" name else pf " %s=dev%d" name slot)
+    r.c_placements;
+  pf "\n";
+  pf "\n%-10s %4s %8s %8s %6s %6s %6s %8s %6s %6s %10s %10s\n" "tenant" "wt"
+    "offered" "admitted" "shedQ" "shedD" "shedG" "complete" "fail" "slo!"
+    "offered/s" "achieved/s";
+  List.iter
+    (fun t ->
+      let open Serve in
+      pf "%-10s %4.1f %8d %8d %6d %6d %6d %8d %6d %6d %10.0f %10.0f\n"
+        t.tr_name t.tr_weight t.tr_offered t.tr_admitted t.tr_shed_queue
+        t.tr_shed_deadline t.tr_shed_degraded t.tr_completed t.tr_failed
+        t.tr_slo_violations t.tr_offered_rps t.tr_achieved_rps)
+    r.c_tenants;
+  let sq, sd, sg =
+    List.fold_left
+      (fun (q, d, g) t ->
+        let open Serve in
+        (q + t.tr_shed_queue, d + t.tr_shed_deadline, g + t.tr_shed_degraded))
+      (0, 0, 0) r.c_tenants
+  in
+  pf "shed breakdown: queue-full=%d deadline=%d degradation=%d\n" sq sd sg;
+  pf "\nlatency (us)%-16s %8s %8s %8s %8s %8s\n" "" "mean" "p50" "p95" "p99"
+    "p99.9";
+  List.iter
+    (fun t ->
+      let open Serve in
+      let row label = function
+        | None ->
+            pf "  %-10s %-15s %8s %8s %8s %8s %8s\n" t.tr_name label "-" "-"
+              "-" "-" "-"
+        | Some p ->
+            pf "  %-10s %-15s %8.1f %8.1f %8.1f %8.1f %8.1f\n" t.tr_name
+              label p.ph_mean_us p.ph_p50_us p.ph_p95_us p.ph_p99_us
+              p.ph_p999_us
+      in
+      row "queue-wait" t.tr_queue;
+      row "service" t.tr_service;
+      row "collect" t.tr_collect;
+      row "total" t.tr_total)
+    r.c_tenants;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Degradation curve                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type loss_point = {
+  lp_devices : int;
+  lp_offered_rps : float;
+  lp_achieved_rps : float;
+  lp_completed : int;
+  lp_shed : int;
+  lp_p99_us : float;
+}
+
+let device_loss_curve ?(seed = 42) ?(duration_ps = 1_500_000_000)
+    ?(rate_rps = 120_000.) ~devices () =
+  if devices < 1 then invalid_arg "Cluster.device_loss_curve: devices >= 1";
+  (* one shard tenant per device slot, so the offered load actually
+     spreads across the fleet and killing k slots concentrates it on
+     the survivors *)
+  let tenants =
+    List.init devices (fun i ->
+        Tenant.make
+          ~name:(Printf.sprintf "shard%d" i)
+          ~clients:4 ~queue_cap:128 ~slo_ps:300_000_000
+          ~deadline_ps:600_000_000
+          ~mix:[ Mix.memcpy ~bytes:(16 * 1024) () ]
+          ~load:
+            (Tenant.Open_loop
+               { rate_rps = rate_rps /. float_of_int (4 * devices) })
+          ())
+  in
+  let point ~kill =
+    let cfg = config ~seed ~duration_ps ~devices ~tenants () in
+    let chaos =
+      List.init kill (fun i -> Kill { at = duration_ps / 3; dev = i })
+    in
+    let r = run ~chaos cfg () in
+    let open Serve in
+    let sumf f = List.fold_left (fun a t -> a +. f t) 0. r.c_tenants in
+    let sumi f = List.fold_left (fun a t -> a + f t) 0 r.c_tenants in
+    {
+      lp_devices = devices - kill;
+      lp_offered_rps = sumf (fun t -> t.tr_offered_rps);
+      lp_achieved_rps = sumf (fun t -> t.tr_achieved_rps);
+      lp_completed = sumi (fun t -> t.tr_completed);
+      lp_shed =
+        sumi (fun t ->
+            t.tr_shed_queue + t.tr_shed_deadline + t.tr_shed_degraded);
+      lp_p99_us =
+        List.fold_left
+          (fun a t ->
+            match t.tr_total with
+            | Some p -> Float.max a p.ph_p99_us
+            | None -> a)
+          0. r.c_tenants;
+    }
+  in
+  List.init devices (fun kill -> point ~kill)
+
+let render_loss_curve points =
+  let b = Buffer.create 256 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "%8s %12s %12s %9s %6s %9s\n" "devices" "offered/s" "achieved/s"
+    "complete" "shed" "p99 us";
+  List.iter
+    (fun p ->
+      pf "%8d %12.0f %12.0f %9d %6d %9.1f\n" p.lp_devices p.lp_offered_rps
+        p.lp_achieved_rps p.lp_completed p.lp_shed p.lp_p99_us)
+    points;
+  Buffer.contents b

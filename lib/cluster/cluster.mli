@@ -1,0 +1,211 @@
+(** Fault-tolerant multi-device cluster serving.
+
+    A host-level placement layer over {!Serve}'s multi-tenant workload:
+    N simulated devices (a mix of {!Platform.Device} flavors), each a
+    full SoC + {!Runtime.Handle} behind a {!Device} wrapper, driven in
+    lockstep by a conservative coordinator — every device owns its own
+    {!Desim.Engine}; the coordinator repeatedly advances all live
+    engines to the earliest pending event time (host engine first, then
+    devices in slot order), so cross-device cascades are byte-
+    deterministic.
+
+    Tenants are placed data-locality-aware: each tenant's resident
+    working set is allocated on exactly one home device and every
+    request of that tenant is dispatched there. A seeded heartbeat
+    monitor drives the per-device health state machine
+    (healthy → suspect → quarantined on consecutive missed probes, back
+    to healthy on a response while merely suspect); heartbeat loss and
+    partial brownouts are drawn from each device's forked fault-
+    injection stream ({!Fault.Injector.fork}), so the false-positive
+    pressure is reproducible. On quarantine the device is {e drained}
+    (no new admissions; in-flight commands get a deadline to settle)
+    and its tenants {e re-sharded} onto the least-loaded survivor;
+    after the drain deadline every unacknowledged command is replayed
+    on the tenant's new home with bounded exponential backoff —
+    at-least-once delivery with acknowledgment-id dedup, so an ack is
+    never lost and a side effect never counted twice. Devices killed
+    mid-run freeze their engine; restored devices come back as a fresh
+    SoC in the warm standby pool, promoted on sustained cluster SLO
+    violation. When capacity cannot cover the offered load, graceful
+    degradation sheds the lowest-weight tenants first (accounted as
+    {!Serve.Shed_degradation}).
+
+    Everything is seeded: the same seed over the same config and chaos
+    schedule yields a byte-identical cluster SLO report. *)
+
+module Health : sig
+  type state =
+    | Healthy
+    | Suspect  (** missed probes, still serving — may recover *)
+    | Quarantined  (** written off: draining, then frozen *)
+    | Dead  (** killed or frozen; engine excluded from the lockstep *)
+    | Standby  (** warm pool: booted but not serving *)
+
+  val name : state -> string
+end
+
+(** {1 Configuration} *)
+
+type config = {
+  cl_seed : int;
+  cl_duration_ps : int;  (** clients generate arrivals in [0, duration) *)
+  cl_tenants : Serve.Tenant.t list;
+  cl_devices : int;  (** total device slots *)
+  cl_warm : int;  (** slots initially serving; the rest are standby *)
+  cl_platforms : Platform.Device.t list;
+      (** cycled over slots — the heterogeneous fleet mix *)
+  cl_n_cores : int;  (** cores per deployed system per device *)
+  cl_core_cap : int;  (** per-core outstanding-command bound *)
+  cl_heartbeat_ps : int;  (** health-probe period *)
+  cl_suspect_misses : int;  (** consecutive misses → suspect *)
+  cl_quarantine_misses : int;  (** consecutive misses → quarantined *)
+  cl_drain_ps : int;  (** in-flight settle window after quarantine *)
+  cl_replay_max_retries : int;  (** replay attempts per unacked command *)
+  cl_replay_backoff_ps : int;  (** base backoff; attempt k waits base*2^k *)
+  cl_resident_bytes : int;  (** per-tenant resident working set *)
+  cl_promote_strikes : int;
+      (** consecutive hot probes before a standby is promoted *)
+  cl_slo_hot_frac : float;
+      (** a probe window is hot when violations/completions exceeds this *)
+  cl_max_events : int;  (** per-engine event budget (livelock guard) *)
+}
+
+val config :
+  ?seed:int ->
+  ?duration_ps:int ->
+  ?devices:int ->
+  ?warm:int ->
+  ?platforms:Platform.Device.t list ->
+  ?n_cores:int ->
+  ?core_cap:int ->
+  ?heartbeat_ps:int ->
+  ?suspect_misses:int ->
+  ?quarantine_misses:int ->
+  ?drain_ps:int ->
+  ?replay_max_retries:int ->
+  ?replay_backoff_ps:int ->
+  ?resident_bytes:int ->
+  ?promote_strikes:int ->
+  ?slo_hot_frac:float ->
+  ?max_events:int ->
+  tenants:Serve.Tenant.t list ->
+  unit ->
+  config
+(** Defaults: seed 42, 2 ms, 2 devices all warm, platforms
+    [[aws_f1; u200; kria]] cycled, 2 cores, core cap 4, heartbeat
+    50 µs, suspect after 2 misses, quarantine after 4, drain 150 µs,
+    3 replay retries at 20 µs base backoff, 64 KB resident set,
+    promote after 3 hot probes at 50% violations, 50M events. *)
+
+(** {1 Chaos schedule} *)
+
+type chaos =
+  | Kill of { at : int; dev : int }
+      (** the device drops off the host link: its engine freezes, so
+          nothing in flight there ever settles *)
+  | Restore of { at : int; dev : int }
+      (** a fresh SoC is booted into the slot and joins the standby
+          pool (promotion decides when it serves again) *)
+
+(** {1 Results} *)
+
+type device_report = {
+  dr_name : string;  (** ["dev0"], ... *)
+  dr_platform : string;
+  dr_state : Health.state;  (** at end of run *)
+  dr_generations : int;  (** SoC boots in this slot (restores add one) *)
+  dr_dispatched : int;
+  dr_completed : int;
+  dr_busy_ps : int;  (** runtime-server busy time across generations *)
+  dr_utilization : float;  (** busy / wall *)
+  dr_transitions : (int * Health.state) list;
+      (** chronological health transitions (time, new state) *)
+  dr_injector : Fault.Injector.t option;
+      (** the slot's current-generation forked injector *)
+}
+
+type report = {
+  c_seed : int;
+  c_duration_ps : int;
+  c_wall_ps : int;
+  c_tenants : Serve.tenant_report list;
+      (** cluster-wide per-tenant ledgers, including the
+          [tr_shed_degraded] reason bucket *)
+  c_devices : device_report list;
+  c_placements : (string * int) list;  (** final tenant → device slot *)
+  c_resharded : (string * int * int) list;
+      (** chronological migrations: tenant, from slot, to slot *)
+  c_quarantines : int;  (** device-level quarantine events *)
+  c_promotions : int;  (** standby devices promoted into service *)
+  c_replays : int;  (** unacked commands replayed after a drain *)
+  c_replayed_ok : int;  (** replays that completed *)
+  c_duplicates : int;
+      (** duplicate acks dropped by txn-id dedup (a browned-out device
+          completing a command that was already replayed elsewhere) *)
+  c_lost_acked : int;  (** acked txns missing from tenant ledgers — 0 *)
+  c_degraded_sheds : int;
+  c_device_tracers : (string * Trace.t) list;
+      (** per-device tracers (current generation) when the run was
+          traced; every track is prefixed ["devN/"] *)
+}
+
+val run :
+  ?tracer:Trace.t ->
+  ?plan:Fault.Plan.t ->
+  ?fault_policy:Fault.Policy.t ->
+  ?chaos:chaos list ->
+  config ->
+  unit ->
+  report
+(** Boot the fleet, place the tenants, start the clients, and drive the
+    lockstep until the horizon passed and every admitted request
+    settled (completed, shed with a reason, or failed). [plan] is the
+    root fault plan: each device generation gets a forked child
+    injector ({!Fault.Injector.fork}, scope = slot + devices ×
+    generation), so single-device campaigns are unaffected by the
+    existence of siblings. [chaos] kills/restores devices mid-run.
+    [tracer] records cluster counters and per-request spans annotated
+    with the serving device; per-device tracers (device-prefixed
+    tracks) ride in the report. *)
+
+val violations : report -> string list
+(** Conservation and exactly-once accounting, [[]] when clean: per
+    tenant offered = admitted + shed-at-admission and admitted =
+    completed + shed-deadline + shed-degraded + failed; no bad
+    responses; zero lost acked commands and zero unexplained
+    duplicates. *)
+
+val conserved : report -> bool
+
+val digest : report -> string
+(** One-line machine-comparable summary (for cross-process determinism
+    gates). *)
+
+val render : report -> string
+(** The cluster SLO report: per-device health timeline and utilization,
+    per-tenant counters with the shed-reason breakdown, re-shard and
+    replay ledger, and the four-phase latency quantiles. *)
+
+(** {1 Degradation curve} *)
+
+type loss_point = {
+  lp_devices : int;  (** surviving warm devices *)
+  lp_offered_rps : float;
+  lp_achieved_rps : float;
+  lp_completed : int;
+  lp_shed : int;
+  lp_p99_us : float;
+}
+
+val device_loss_curve :
+  ?seed:int ->
+  ?duration_ps:int ->
+  ?rate_rps:float ->
+  devices:int ->
+  unit ->
+  loss_point list
+(** Fixed offered load served by [devices], then the same load after
+    killing 1, 2, ... devices mid-run — the graceful-degradation curve
+    (throughput retained and p99 inflation per device lost). *)
+
+val render_loss_curve : loss_point list -> string

@@ -14,6 +14,12 @@ type t
 module Reader : sig
   type r
 
+  val beat_bytes : r -> int
+  (** The channel's AXI beat width on the elaborated platform — the
+      widest legal [item_bytes] (and its divisor granule). A kernel
+      meant to run on any platform sizes its items against this instead
+      of hard-coding the discrete-FPGA 64 B beat. *)
+
   val stream :
     r ->
     addr:int ->

@@ -69,6 +69,8 @@ let schedule t ~delay action =
   if delay < 0 then invalid_arg "Engine.schedule: negative delay";
   schedule_at t ~time:(t.clock + delay) action
 
+let next_time t = if t.size = 0 then None else Some t.heap.(0).time
+
 let step t =
   if t.size = 0 then false
   else begin

@@ -32,5 +32,10 @@ val drain_or_fail : ?max_events:int -> t -> unit
 val step : t -> bool
 (** Fire the single next event. Returns [false] when the queue is empty. *)
 
+val next_time : t -> int option
+(** Timestamp of the next queued event, [None] when the queue is empty —
+    the lookahead a conservative multi-engine coordinator (one engine per
+    simulated device) needs to pick which engine fires next. *)
+
 val pending : t -> int
 (** Number of queued events. *)

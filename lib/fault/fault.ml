@@ -201,11 +201,18 @@ module Class = struct
     | Noc_delay
     | Core_hang
     | Dma_fail
+    | Device_offline
+    | Heartbeat_loss
+    | Device_brownout
 
+  (* Device-scope classes are appended, never inserted: a class's index
+     seeds its decision stream, so the prefix must stay frozen for the
+     digests of existing campaigns to survive new classes. *)
   let all =
     [
       Dram_flip; Dram_double_flip; Axi_read_error; Axi_write_error;
       Noc_cmd_drop; Noc_resp_drop; Noc_delay; Core_hang; Dma_fail;
+      Device_offline; Heartbeat_loss; Device_brownout;
     ]
 
   let name = function
@@ -218,6 +225,9 @@ module Class = struct
     | Noc_delay -> "noc-delay"
     | Core_hang -> "core-hang"
     | Dma_fail -> "dma-fail"
+    | Device_offline -> "device-offline"
+    | Heartbeat_loss -> "heartbeat-loss"
+    | Device_brownout -> "device-brownout"
 
   let of_name s = List.find_opt (fun c -> name c = s) all
 
@@ -333,6 +343,7 @@ end
 module Injector = struct
   type t = {
     plan : Plan.t;
+    scope : int option; (* the device/shard this child was forked for *)
     ecc : Ecc.t;
     streams : Rng.t array; (* one per class, decision stream *)
     aux : Rng.t; (* victim selection, delays, error-code choice *)
@@ -359,6 +370,7 @@ module Injector = struct
       plan.Plan.rates;
     {
       plan;
+      scope = None;
       ecc = Ecc.create ();
       streams = Array.init Class.count (fun i -> Rng.create ~seed:(seed64 i));
       aux = Rng.create ~seed:(seed64 1000);
@@ -376,6 +388,26 @@ module Injector = struct
 
   let plan t = t.plan
   let ecc t = t.ecc
+
+  (* A child injector for an enclosed scope (one device of a cluster).
+     The child's seed is a pure integer mix of (parent plan seed, scope):
+     forking draws nothing from the parent's streams, so a single-device
+     campaign is bit-identical whether or not children were forked, and
+     sibling scopes get mutually independent streams. *)
+  let fork ?plan t ~scope =
+    let base = match plan with Some p -> p | None -> t.plan in
+    let mixed =
+      Rng.next
+        (Rng.create
+           ~seed:
+             (Int64.add
+                (Int64.mul (Int64.of_int t.plan.Plan.seed) 0x100000001B3L)
+                (Int64.of_int ((scope * 2_654_435_769) + 1))))
+    in
+    let seed = Int64.to_int (Int64.shift_right_logical mixed 2) in
+    { (create { base with Plan.seed }) with scope = Some scope }
+
+  let scope t = t.scope
 
   let decide t cls =
     let i = Class.index cls in

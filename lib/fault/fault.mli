@@ -84,8 +84,17 @@ module Class : sig
     | Noc_delay  (** a message delayed (ordering preserved per route) *)
     | Core_hang  (** a core stops responding permanently *)
     | Dma_fail  (** transient host<->device DMA failure *)
+    | Device_offline  (** a whole device drops off the host link *)
+    | Heartbeat_loss  (** a health probe goes unanswered (transient) *)
+    | Device_brownout
+        (** partial brownout: the device still serves traffic but misses
+            health probes for a stretch — the false-positive pressure a
+            quarantine state machine must survive *)
 
   val all : t list
+  (* Order note: new classes are appended, never inserted — a class's
+     index seeds its decision stream, so the prefix order is frozen for
+     digest stability. *)
   val name : t -> string
   val of_name : string -> t option
 end
@@ -165,6 +174,19 @@ module Injector : sig
   val create : Plan.t -> t
   val plan : t -> Plan.t
   val ecc : t -> Ecc.t
+
+  val fork : ?plan:Plan.t -> t -> scope:int -> t
+  (** A seeded child injector for an enclosed fault scope (one simulated
+      device of a cluster, a shard of a campaign). The child's streams are
+      seeded from [(parent plan seed, scope)] only — forking never draws
+      from the parent's streams, so single-device campaigns are
+      bit-identical whether or not children were forked, and sibling
+      scopes are mutually independent. [plan] overrides the child's plan
+      (rates, hang spec); the seed is always the derived one. The child
+      keeps its own ledger and ECC model. *)
+
+  val scope : t -> int option
+  (** The scope this injector was forked for, [None] for a root. *)
 
   val decide : t -> Class.t -> bool
   (** Draw from the class's stream against its rate. Deterministic in

@@ -69,7 +69,9 @@ let config impl =
         ();
     ]
 
-(* Forward each arriving 64-byte beat straight into the writer. *)
+(* Forward each arriving beat straight into the writer. The item width
+   follows the platform's AXI beat (64 B on the discrete shells, 16 B
+   on Kria), so the same behavior serves a heterogeneous fleet. *)
 let behavior : Soc.behavior =
  fun ctx beats ~respond ->
   let args =
@@ -80,14 +82,19 @@ let behavior : Soc.behavior =
   let src = get "src" and dst = get "dst" and bytes = get "bytes" in
   let reader = Soc.reader ctx "src" in
   let writer = Soc.writer ctx "dst" in
+  let item = min 64 (Soc.Reader.beat_bytes reader) in
   Soc.Writer.begin_txn writer ~addr:dst ~bytes ~on_done:(fun () ->
       respond (Int64.of_int bytes));
-  Soc.Reader.stream reader ~addr:src ~bytes ~item_bytes:64
+  Soc.Reader.stream reader ~addr:src ~bytes ~item_bytes:item
     ~on_item:(fun ~offset ->
-      let n = min 64 (bytes - offset) in
+      let n = min item (bytes - offset) in
       Soc.copy_within ctx.Soc.soc ~src:(src + offset) ~dst:(dst + offset)
         ~bytes:n;
-      Soc.Writer.push writer ~on_accept:(fun () -> ()) ())
+      (* the writer's item is the channel's 64 B port word; push once per
+         completed word, however many AXI beats the platform needed to
+         carry it in *)
+      if (offset + n) mod 64 = 0 || offset + n >= bytes then
+        Soc.Writer.push writer ~on_accept:(fun () -> ()) ())
     ~on_done:(fun () -> ())
     ()
 

@@ -64,6 +64,32 @@ let aws_f1 =
     sram_library = None;
   }
 
+(* The on-prem XDMA shell is much leaner than the F1 shell: static region
+   plus the DMA engine on SLR1 only. *)
+let u200_shell_slr1 =
+  Resources.make ~clb:12000 ~lut:60000 ~ff:90000 ~bram:60 ~uram:20 ()
+
+let u200 =
+  {
+    aws_f1 with
+    name = "Alveo U200 (on-prem, XDMA shell)";
+    slrs =
+      [
+        { slr_index = 0; capacity = vu9p_slr_capacity; shell = Resources.zero };
+        { slr_index = 1; capacity = vu9p_slr_capacity; shell = u200_shell_slr1 };
+        { slr_index = 2; capacity = vu9p_slr_capacity; shell = Resources.zero };
+      ];
+    fabric_clock_ps = 3333 (* 300 MHz kernel clock *);
+    noc = Noc.Params.default ~clock_ps:3333;
+    host =
+      {
+        mmio_latency_ps = 800_000 (* local PCIe, no virtualization hop *);
+        dma_bandwidth_gbs = 13.0;
+        dma_setup_ps = 4_000_000;
+        shared_address_space = false;
+      };
+  }
+
 let kria =
   {
     name = "Kria KV260 (Zynq UltraScale+)";

@@ -35,6 +35,12 @@ val aws_f1 : t
 (** Alveo U200 (VU9P, 3 SLRs) on an AWS F1 instance: discrete, PCIe,
     250 MHz fabric, 4-channel DDR4, shell on SLR0/1. *)
 
+val u200 : t
+(** Alveo U200 on-prem (XDMA shell): same VU9P die as {!aws_f1} but a
+    leaner shell (SLR1 only), a 300 MHz kernel clock, and a local PCIe
+    link without the virtualization hop — the second discrete flavor a
+    heterogeneous cluster mixes with F1 instances. *)
+
 val kria : t
 (** Kria KV260 (Zynq UltraScale+): embedded, shared address space, single
     SLR, one DDR4 channel. *)

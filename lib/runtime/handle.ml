@@ -51,6 +51,13 @@ type t = {
   mutable next_gen : int;
   (* (system_id, core_id) the watchdog has written off *)
   quarantined : (int * int, unit) Hashtbl.t;
+  (* per-core prompt-abort hooks: every in-flight watchdogged attempt
+     registers one so quarantining a core immediately reroutes-or-fails
+     the commands pending on it instead of letting each wait out its own
+     (possibly doubled) deadline — the fast-drain path a cluster layer
+     needs. Keyed by a monotonic id so firing order is deterministic. *)
+  kicks : (int * int, (int, unit -> unit) Hashtbl.t) Hashtbl.t;
+  mutable next_kick : int;
   mutable server_free_at : int;
   mutable server_busy_ps : int;
   mutable commands_sent : int;
@@ -79,6 +86,8 @@ let create ?(server_op_ps = 1_500_000) ?(poison_freed = false) soc =
     gens = Hashtbl.create 16;
     next_gen = 0;
     quarantined = Hashtbl.create 4;
+    kicks = Hashtbl.create 4;
+    next_kick = 0;
     server_free_at = 0;
     server_busy_ps = 0;
     commands_sent = 0;
@@ -355,6 +364,58 @@ let system_index t name =
 let is_quarantined t ~system_id ~core_id =
   Hashtbl.mem t.quarantined (system_id, core_id)
 
+(* Register a prompt-abort hook for an attempt in flight on a core.
+   Returns the deregistration thunk the attempt calls once it settles or
+   is superseded. *)
+let register_kick t ~system_id ~core_id f =
+  let key = (system_id, core_id) in
+  let tbl =
+    match Hashtbl.find_opt t.kicks key with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 8 in
+        Hashtbl.replace t.kicks key tbl;
+        tbl
+  in
+  let id = t.next_kick in
+  t.next_kick <- id + 1;
+  Hashtbl.replace tbl id f;
+  fun () -> Hashtbl.remove tbl id
+
+(* Fire (and clear) the abort hooks pending on a core, in registration
+   order — called at quarantine so in-flight commands reroute or fail
+   now instead of waiting out their deadlines. *)
+let fire_kicks t ~system_id ~core_id =
+  match Hashtbl.find_opt t.kicks (system_id, core_id) with
+  | None -> ()
+  | Some tbl ->
+      let pending = Hashtbl.fold (fun id f acc -> (id, f) :: acc) tbl [] in
+      Hashtbl.remove t.kicks (system_id, core_id);
+      List.iter
+        (fun (_, f) -> f ())
+        (List.sort (fun (a, _) (b, _) -> compare a b) pending)
+
+(* Externally imposed quarantine (a cluster health monitor writing off a
+   device's cores, a test forcing the state): mark the core failed, log
+   it on the injector's ledger when one is attached, and promptly settle
+   every command pending on the core (reroute to a surviving core of the
+   system, or Failed when none is left). Idempotent. *)
+let quarantine_core ?(cls = Fault.Class.Core_hang) t ~system_id ~core_id
+    ~reason =
+  if not (Hashtbl.mem t.quarantined (system_id, core_id)) then begin
+    Hashtbl.replace t.quarantined (system_id, core_id) ();
+    (match Soc.fault_injector t.soc with
+    | Some inj ->
+        Fault.Injector.log inj
+          ~now:(Desim.Engine.now t.engine)
+          ~cls ~kind:Fault.Log.Quarantined
+          ~site:
+            (Printf.sprintf "sys=%d core=%d forced: %s" system_id core_id
+               reason)
+    | None -> ());
+    fire_kicks t ~system_id ~core_id
+  end
+
 let send ?batch ?queued_at t ~system ~core ~cmd ~args =
   let pairs = Cmd_spec.pack cmd args in
   let n = List.length pairs in
@@ -435,35 +496,52 @@ let send ?batch ?queued_at t ~system ~core ~cmd ~args =
     (* the logical response is the last beat's *)
     List.nth handles (n - 1)
   in
-  match Soc.fault_injector t.soc with
-  | None -> watch (submit core)
-  | Some _ when not cmd.Cmd_spec.has_response ->
+  let sys =
+    List.nth
+      (Soc.design t.soc).Beethoven.Elaborate.config.Beethoven.Config.systems
+      sys_id
+  in
+  let n_cores = sys.Beethoven.Config.n_cores in
+  let next_core after =
+    let rec go k =
+      if k >= n_cores then None
+      else
+        let c = (after + k) mod n_cores in
+        if Hashtbl.mem t.quarantined (sys_id, c) then go (k + 1) else Some c
+    in
+    go 1
+  in
+  let fail_quarantined outer =
+    fail outer (Printf.sprintf "system %s: all cores quarantined" system);
+    (match root with
+    | Some (tr, sp) -> Trace.add_arg tr sp "failed" (Trace.Str "quarantined")
+    | None -> ());
+    finish_root ();
+    outer
+  in
+  (* Never dispatch onto a core already written off: reroute to the next
+     healthy core, or settle the handle [Failed] right here — a caller
+     polling [try_collect] sees the failure promptly instead of a handle
+     stuck [Pending] until a watchdog deadline (or forever when no
+     injector armed a watchdog at all). *)
+  let entry_core =
+    if Hashtbl.mem t.quarantined (sys_id, core) then next_core core
+    else Some core
+  in
+  match (Soc.fault_injector t.soc, entry_core) with
+  | _, None -> watch (fail_quarantined (fresh_handle ()))
+  | None, Some c -> watch (submit c)
+  | Some _, Some c when not cmd.Cmd_spec.has_response ->
       (* nothing to watch: a response-less command cannot be timed out *)
-      watch (submit core)
-  | Some inj ->
+      watch (submit c)
+  | Some inj, Some entry ->
       (* Watchdog: if the response misses its deadline, resend (doubling
          the deadline); after [cmd_max_retries] resends quarantine the
          core and reroute to the next healthy one. Commands are therefore
          delivered at-least-once — kernels are assumed idempotent. *)
       let policy = Soc.policy t.soc in
-      let sys =
-        List.nth
-          (Soc.design t.soc).Beethoven.Elaborate.config.Beethoven.Config
-            .systems sys_id
-      in
-      let n_cores = sys.Beethoven.Config.n_cores in
       let outer = fresh_handle () in
       let touched = ref [] in
-      let next_core after =
-        let rec go k =
-          if k >= n_cores then None
-          else
-            let c = (after + k) mod n_cores in
-            if Hashtbl.mem t.quarantined (sys_id, c) then go (k + 1)
-            else Some c
-        in
-        go 1
-      in
       let succeed v =
         if outer.result = None then begin
           let now = Desim.Engine.now t.engine in
@@ -478,15 +556,49 @@ let send ?batch ?queued_at t ~system ~core ~cmd ~args =
         let key = Soc.cmd_key t.soc ~system_id:sys_id ~core_id:target_core in
         if not (List.mem key !touched) then touched := key :: !touched;
         let h = submit target_core in
+        (* one attempt is live at a time; settling, rerouting or being
+           kicked by a quarantine retires it so the still-scheduled
+           deadline event becomes a no-op *)
+        let live = ref true in
+        let dereg = ref (fun () -> ()) in
+        let retire () =
+          live := false;
+          !dereg ()
+        in
         let succeed_with v =
           if outer.raw_at = None then outer.raw_at <- h.raw_at;
+          retire ();
           succeed v
         in
         (match h.result with
         | Some v -> succeed_with v
         | None -> h.waiters <- succeed_with :: h.waiters);
+        let reroute_or_fail () =
+          match next_core target_core with
+          | Some c ->
+              t.command_retries <- t.command_retries + 1;
+              attempt ~target_core:c ~tries:0
+                ~timeout_ps:policy.Fault.Policy.cmd_timeout_ps
+          | None ->
+              let now = Desim.Engine.now t.engine in
+              List.iter
+                (fun key ->
+                  Fault.Injector.resolve_lost inj ~now ~key ~recovered:false)
+                !touched;
+              ignore (fail_quarantined outer)
+        in
+        if !live then
+        dereg :=
+          register_kick t ~system_id:sys_id ~core_id:target_core (fun () ->
+              (* the core was quarantined from under this attempt (by
+                 another command's watchdog or an external health
+                 monitor): reroute or fail now, not at the deadline *)
+              if !live && outer.result = None && outer.failed = None then begin
+                retire ();
+                reroute_or_fail ()
+              end);
         Desim.Engine.schedule t.engine ~delay:timeout_ps (fun () ->
-            if outer.result = None && h.result = None then begin
+            if !live && outer.result = None && h.result = None then begin
               t.command_timeouts <- t.command_timeouts + 1;
               (match root with
               | Some (tr, sp) ->
@@ -498,11 +610,18 @@ let send ?batch ?queued_at t ~system ~core ~cmd ~args =
                          target_core tries)
                     ()
               | None -> ());
-              if tries < policy.Fault.Policy.cmd_max_retries then begin
+              if Hashtbl.mem t.quarantined (sys_id, target_core) then begin
+                (* written off since dispatch: no point burning the retry
+                   budget on a quarantined core *)
+                retire ();
+                reroute_or_fail ()
+              end
+              else if tries < policy.Fault.Policy.cmd_max_retries then begin
                 t.command_retries <- t.command_retries + 1;
                 Log.debug (fun f ->
                     f "command timed out; retry %d on sys=%d core=%d"
                       (tries + 1) sys_id target_core);
+                retire ();
                 attempt ~target_core ~tries:(tries + 1)
                   ~timeout_ps:(2 * timeout_ps)
               end
@@ -510,70 +629,35 @@ let send ?batch ?queued_at t ~system ~core ~cmd ~args =
                 (* with several commands outstanding on one core, every
                    one of them runs its retry budget out — the core is
                    quarantined (and logged) exactly once, by whichever
-                   watchdog gets there first *)
-                let already =
-                  Hashtbl.mem t.quarantined (sys_id, target_core)
-                in
+                   watchdog gets there first; the others are kicked into
+                   their reroute immediately *)
                 Hashtbl.replace t.quarantined (sys_id, target_core) ();
                 let now = Desim.Engine.now t.engine in
-                if not already then begin
-                  Fault.Injector.log inj ~now ~cls:Fault.Class.Core_hang
-                    ~kind:Fault.Log.Quarantined
-                    ~site:
-                      (Printf.sprintf
-                         "sys=%d core=%d after %d timed-out attempt(s)%s"
-                         sys_id target_core (tries + 1)
-                         (if
-                            Soc.core_hung t.soc ~system_id:sys_id
-                              ~core_id:target_core
-                          then " (injected hang)"
-                          else ""));
-                  match root with
-                  | Some (tr, sp) ->
-                      Trace.add_arg tr sp
-                        (Printf.sprintf "quarantine[%d/%d]" sys_id
-                           target_core)
-                        (Trace.Int (Fault.Injector.last_id inj))
-                  | None -> ()
-                end;
-                match next_core target_core with
-                | Some c ->
-                    t.command_retries <- t.command_retries + 1;
-                    attempt ~target_core:c ~tries:0
-                      ~timeout_ps:policy.Fault.Policy.cmd_timeout_ps
-                | None ->
-                    List.iter
-                      (fun key ->
-                        Fault.Injector.resolve_lost inj ~now ~key
-                          ~recovered:false)
-                      !touched;
-                    fail outer
-                      (Printf.sprintf "system %s: all cores quarantined"
-                         system);
-                    (match root with
-                    | Some (tr, sp) ->
-                        Trace.add_arg tr sp "failed" (Trace.Str "quarantined")
-                    | None -> ());
-                    finish_root ()
+                Fault.Injector.log inj ~now ~cls:Fault.Class.Core_hang
+                  ~kind:Fault.Log.Quarantined
+                  ~site:
+                    (Printf.sprintf
+                       "sys=%d core=%d after %d timed-out attempt(s)%s"
+                       sys_id target_core (tries + 1)
+                       (if
+                          Soc.core_hung t.soc ~system_id:sys_id
+                            ~core_id:target_core
+                        then " (injected hang)"
+                        else ""));
+                (match root with
+                | Some (tr, sp) ->
+                    Trace.add_arg tr sp
+                      (Printf.sprintf "quarantine[%d/%d]" sys_id target_core)
+                      (Trace.Int (Fault.Injector.last_id inj))
+                | None -> ());
+                retire ();
+                fire_kicks t ~system_id:sys_id ~core_id:target_core;
+                reroute_or_fail ()
               end
             end)
       in
-      let core0 =
-        if Hashtbl.mem t.quarantined (sys_id, core) then next_core core
-        else Some core
-      in
-      (match core0 with
-      | Some c ->
-          attempt ~target_core:c ~tries:0
-            ~timeout_ps:policy.Fault.Policy.cmd_timeout_ps
-      | None ->
-          fail outer
-            (Printf.sprintf "system %s: all cores quarantined" system);
-          (match root with
-          | Some (tr, sp) ->
-              Trace.add_arg tr sp "failed" (Trace.Str "quarantined")
-          | None -> ());
-          finish_root ());
+      attempt ~target_core:entry ~tries:0
+        ~timeout_ps:policy.Fault.Policy.cmd_timeout_ps;
       watch outer
 
 let try_get h = h.result

@@ -142,7 +142,16 @@ val try_collect : response_handle -> collect
     [Done] once the response was collected, [Failed] when recovery was
     exhausted (every core of the system quarantined). Never advances the
     simulation — the multi-outstanding client drives the engine itself
-    and polls, or registers {!on_settled}. *)
+    and polls, or registers {!on_settled}.
+
+    Failure is prompt: a command sent to a core already quarantined is
+    rerouted (or settled [Failed]) at submission, and a command in flight
+    when its core is quarantined — by another command's watchdog or by
+    {!quarantine_core} — is rerouted or failed at the quarantine instant
+    rather than staying [Pending] until its own (possibly doubled)
+    watchdog deadline. A draining dispatcher can therefore poll
+    [try_collect] and trust that quarantine-doomed commands settle
+    immediately. *)
 
 val response_seen_at : response_handle -> int option
 (** Simulated time the raw response reached the MMIO frontend, before
@@ -176,6 +185,23 @@ val command_retries : t -> int
 (** Commands resent after a timeout (including reroutes). *)
 
 val is_quarantined : t -> system_id:int -> core_id:int -> bool
+
+val quarantine_core :
+  ?cls:Fault.Class.t ->
+  t ->
+  system_id:int ->
+  core_id:int ->
+  reason:string ->
+  unit
+(** Externally imposed quarantine — a cluster health monitor writing off
+    every core of a failed device, or a test forcing the state. Marks the
+    core failed (future {!send}s reroute around it or settle [Failed]),
+    logs a [Quarantined] ledger entry under [cls] (default
+    [Core_hang]) when the SoC carries an injector, and promptly settles
+    every command currently pending on the core: each is rerouted to the
+    next healthy core of its system, or failed when none survives.
+    Idempotent; quarantining an already-quarantined core does nothing. *)
+
 val server_busy_ps : t -> int
 (** Total time the runtime server spent servicing operations — the
     contention metric. *)

@@ -93,6 +93,13 @@ module Tenant = struct
     }
 end
 
+type shed_reason = Shed_queue_full | Shed_deadline | Shed_degradation
+
+let shed_reason_name = function
+  | Shed_queue_full -> "queue-full"
+  | Shed_deadline -> "deadline"
+  | Shed_degradation -> "degradation"
+
 type policy = Wfq | Fifo
 
 let policy_name = function Wfq -> "wfq" | Fifo -> "fifo"
@@ -151,6 +158,9 @@ type tstate = {
   mutable ts_admitted : int;
   mutable ts_shed_queue : int;
   mutable ts_shed_deadline : int;
+  ts_shed_degraded : int;
+      (* always 0 in a single-SoC campaign; the cluster layer accounts
+         degradation sheds in its own aggregated reports *)
   mutable ts_completed : int;
   mutable ts_failed : int;
   mutable ts_bad : int;
@@ -448,11 +458,11 @@ let exp_draw rng ~mean_ps =
    tenant index, client index) only — arrivals, sizes and think times
    never depend on completion order, so the offered load is identical
    across policies and fault plans. *)
-let client_rng cfg ~ti ~ci =
+let client_rng ~seed ~tenant ~client =
   Fault.Rng.create
     ~seed:
       (Int64.of_int
-         ((cfg.c_seed * 1_000_003) + (ti * 8191) + (ci * 131) + 17))
+         ((seed * 1_000_003) + (tenant * 8191) + (client * 131) + 17))
 
 let start_clients st =
   let cfg = st.st_cfg in
@@ -462,7 +472,7 @@ let start_clients st =
     (fun ti ts ->
       let t = ts.ts_t in
       for ci = 0 to t.Tenant.t_clients - 1 do
-        let rng = client_rng cfg ~ti ~ci in
+        let rng = client_rng ~seed:cfg.c_seed ~tenant:ti ~client:ci in
         match t.Tenant.t_load with
         | Tenant.Open_loop { rate_rps } ->
             if rate_rps <= 0. then
@@ -522,6 +532,7 @@ type tenant_report = {
   tr_admitted : int;
   tr_shed_queue : int;
   tr_shed_deadline : int;
+  tr_shed_degraded : int;
   tr_completed : int;
   tr_failed : int;
   tr_bad_responses : int;
@@ -618,6 +629,7 @@ let run ?tracer ?plan ?fault_policy ?(platform = Platform.Device.aws_f1) cfg
                  ts_admitted = 0;
                  ts_shed_queue = 0;
                  ts_shed_deadline = 0;
+                 ts_shed_degraded = 0;
                  ts_completed = 0;
                  ts_failed = 0;
                  ts_bad = 0;
@@ -665,6 +677,7 @@ let run ?tracer ?plan ?fault_policy ?(platform = Platform.Device.aws_f1) cfg
              tr_admitted = ts.ts_admitted;
              tr_shed_queue = ts.ts_shed_queue;
              tr_shed_deadline = ts.ts_shed_deadline;
+             tr_shed_degraded = ts.ts_shed_degraded;
              tr_completed = ts.ts_completed;
              tr_failed = ts.ts_failed;
              tr_bad_responses = ts.ts_bad;
@@ -714,10 +727,14 @@ let violations r =
           t.tr_offered t.tr_admitted t.tr_shed_queue;
       if
         t.tr_admitted
-        <> t.tr_completed + t.tr_shed_deadline + t.tr_failed
+        <> t.tr_completed + t.tr_shed_deadline + t.tr_shed_degraded
+           + t.tr_failed
       then
-        add "%s: admitted %d <> completed %d + shed-at-dispatch %d + failed %d"
-          t.tr_name t.tr_admitted t.tr_completed t.tr_shed_deadline t.tr_failed;
+        add
+          "%s: admitted %d <> completed %d + shed-at-dispatch %d + \
+           shed-degraded %d + failed %d"
+          t.tr_name t.tr_admitted t.tr_completed t.tr_shed_deadline
+          t.tr_shed_degraded t.tr_failed;
       if t.tr_bad_responses > 0 then
         add "%s: %d response payloads mismatched their requests" t.tr_name
           t.tr_bad_responses)
@@ -745,10 +762,12 @@ let digest r =
     r.r_server_busy_ps;
   List.iter
     (fun t ->
-      pf " | %s off=%d adm=%d shq=%d shd=%d ok=%d fail=%d bad=%d slo=%d by=%d"
+      pf
+        " | %s off=%d adm=%d shq=%d shd=%d shg=%d ok=%d fail=%d bad=%d \
+         slo=%d by=%d"
         t.tr_name t.tr_offered t.tr_admitted t.tr_shed_queue t.tr_shed_deadline
-        t.tr_completed t.tr_failed t.tr_bad_responses t.tr_slo_violations
-        t.tr_bytes_served;
+        t.tr_shed_degraded t.tr_completed t.tr_failed t.tr_bad_responses
+        t.tr_slo_violations t.tr_bytes_served;
       match t.tr_total with
       | Some p -> pf " p99=%.2f" p.ph_p99_us
       | None -> pf " p99=-")
@@ -789,6 +808,19 @@ let render r =
         t.tr_shed_deadline t.tr_completed t.tr_failed t.tr_slo_violations
         t.tr_offered_rps t.tr_achieved_rps)
     r.r_tenants;
+  let sq, sd, sg =
+    List.fold_left
+      (fun (q, d, g) t ->
+        (q + t.tr_shed_queue, d + t.tr_shed_deadline, g + t.tr_shed_degraded))
+      (0, 0, 0) r.r_tenants
+  in
+  pf "shed breakdown: %s=%d %s=%d %s=%d\n"
+    (shed_reason_name Shed_queue_full)
+    sq
+    (shed_reason_name Shed_deadline)
+    sd
+    (shed_reason_name Shed_degradation)
+    sg;
   pf "\nlatency (us)%-16s %8s %8s %8s %8s %8s\n" "" "mean" "p50" "p95" "p99"
     "p99.9";
   List.iter

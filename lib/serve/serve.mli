@@ -80,6 +80,24 @@ module Tenant : sig
       queue cap 64, {!Mix.default}. *)
 end
 
+(** {1 Shed reasons}
+
+    Every shed command is accounted under the reason it was dropped, so a
+    report can tell overload (queue-full at admission, deadline at
+    dispatch) apart from deliberate cluster-level graceful degradation
+    (capacity lost to quarantined devices; lowest-weight tenants shed
+    first). Single-SoC campaigns never shed for [Degradation] — that
+    reason exists for the cluster dispatcher, which reuses this ledger. *)
+
+type shed_reason =
+  | Shed_queue_full  (** rejected at admission: tenant queue at capacity *)
+  | Shed_deadline  (** dropped at dispatch: admission deadline passed *)
+  | Shed_degradation
+      (** dropped by cluster-level graceful degradation: offered load
+          exceeds surviving capacity, lowest-weight tenants shed first *)
+
+val shed_reason_name : shed_reason -> string
+
 type policy =
   | Wfq
       (** weighted-fair queuing over dispatched bytes (start-time fair
@@ -133,6 +151,9 @@ type tenant_report = {
   tr_admitted : int;  (** accepted into the tenant queue *)
   tr_shed_queue : int;  (** rejected at admission: queue full *)
   tr_shed_deadline : int;  (** dropped at dispatch: deadline passed *)
+  tr_shed_degraded : int;
+      (** dropped by cluster-level graceful degradation (always 0 for a
+          single-SoC campaign) *)
   tr_completed : int;
   tr_failed : int;  (** handle failed (recovery exhausted) *)
   tr_bad_responses : int;  (** response payload mismatched the request *)
@@ -185,7 +206,8 @@ val run :
 val violations : report -> string list
 (** Accounting violations, [[]] when clean: per-tenant conservation
     (offered = admitted + shed at admission; admitted = completed + shed
-    at dispatch + failed — every admitted request settled exactly once),
+    at dispatch + shed by degradation + failed — every admitted request
+    settled exactly once),
     no bad responses, nothing stuck, allocator invariants hold with no
     leaked blocks and [free_bytes] back at its pre-campaign baseline,
     and (under a fault plan) no pending lost messages. *)
@@ -196,8 +218,30 @@ val digest : report -> string
 (** One-line machine-comparable summary (for determinism checks). *)
 
 val render : report -> string
-(** The SLO report: per-tenant counters and the four-phase
+(** The SLO report: per-tenant counters, the shed-reason breakdown
+    (queue-full vs deadline vs degradation — the line that tells cluster
+    graceful degradation apart from plain overload), and the four-phase
     p50/p95/p99/p99.9 latency table. *)
+
+(** {1 Reusable workload machinery}
+
+    The seeded client machinery, exported so a multi-device placement
+    layer ({!Cluster}) can generate byte-identical offered load without
+    duplicating the derivations. *)
+
+val draw_class : Fault.Rng.t -> Mix.t -> Mix.klass
+(** Weighted draw of a request class from a mix. *)
+
+val exp_draw : Fault.Rng.t -> mean_ps:float -> int
+(** Exponential inter-arrival draw (>= 1 ps) — Poisson arrivals. *)
+
+val client_rng : seed:int -> tenant:int -> client:int -> Fault.Rng.t
+(** The per-client splitmix64 stream, derived from (campaign seed, tenant
+    index, client index) only — never from completion order, so offered
+    load is identical across policies, fault plans and placements. *)
+
+val phase_of : Desim.Stats.series -> phase option
+(** Summarize a latency series into the report's phase quantiles. *)
 
 (** {1 Saturation sweep} *)
 

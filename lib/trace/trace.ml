@@ -29,6 +29,7 @@ type level_sample = { ls_name : string; ls_time : int; ls_value : int }
 module S = Desim.Stats
 
 type t = {
+  device : string option;
   mutable spans : span list; (* reverse begin order *)
   mutable n_spans : int;
   by_id : (int, span) Hashtbl.t;
@@ -44,8 +45,9 @@ type t = {
   mutable hist_order : string list;
 }
 
-let create () =
+let create ?device () =
   {
+    device;
     spans = [];
     n_spans = 0;
     by_id = Hashtbl.create 256;
@@ -65,6 +67,13 @@ let fresh_txn t =
   let id = t.next_txn in
   t.next_txn <- id + 1;
   id
+
+let device t = t.device
+
+(* Every display lane of a device-scoped tracer is prefixed with the
+   device label, so traces merged across a cluster keep their origin. *)
+let lane t track =
+  match t.device with None -> track | Some d -> d ^ "/" ^ track
 
 (* -- spans ---------------------------------------------------------- *)
 
@@ -87,7 +96,7 @@ let begin_span t ~now ?parent ?txn ~track ~cat ~name () =
       sp_id = id;
       sp_parent = parent;
       sp_txn = txn;
-      sp_track = track;
+      sp_track = lane t track;
       sp_cat = cat;
       sp_name = name;
       sp_start = now;
@@ -124,7 +133,7 @@ let add_arg t id key v =
 let instant t ~now ?parent ~track ~cat ~name ?(args = []) () =
   t.instants <-
     {
-      in_track = track;
+      in_track = lane t track;
       in_cat = cat;
       in_name = name;
       in_time = now;

@@ -270,6 +270,52 @@ let test_injector_lost_accounting () =
   check_int "still two" 2 (F.Injector.total_recovered inj);
   check_int "no losses" 0 (F.Injector.total_unrecovered inj)
 
+(* ---- per-scope fork (device-scoped injectors for the cluster) ---- *)
+
+let decide_sequence inj ~n =
+  List.init n (fun _ -> F.Injector.decide inj F.Class.Dram_flip)
+
+let test_fork_deterministic () =
+  let plan = F.Plan.scale 10.0 (F.Plan.default_recoverable ~seed:3 ()) in
+  let a = F.Injector.fork (F.Injector.create plan) ~scope:5 in
+  let b = F.Injector.fork (F.Injector.create plan) ~scope:5 in
+  check_bool "same scope, same stream" true
+    (decide_sequence a ~n:200 = decide_sequence b ~n:200);
+  check_bool "scope recorded" true (F.Injector.scope a = Some 5)
+
+let test_fork_siblings_independent () =
+  let plan = F.Plan.scale 10.0 (F.Plan.default_recoverable ~seed:3 ()) in
+  let root = F.Injector.create plan in
+  let a = F.Injector.fork root ~scope:0
+  and b = F.Injector.fork root ~scope:1 in
+  check_bool "sibling scopes diverge" true
+    (decide_sequence a ~n:400 <> decide_sequence b ~n:400)
+
+let test_fork_leaves_root_stream_untouched () =
+  (* regression: the seeded @fault digests predate fork — a root that
+     forked children must draw exactly what an unforked root draws *)
+  let plan = F.Plan.scale 10.0 (F.Plan.default_recoverable ~seed:7 ()) in
+  let pristine = F.Injector.create plan in
+  let forked = F.Injector.create plan in
+  for s = 0 to 7 do
+    ignore (F.Injector.fork forked ~scope:s)
+  done;
+  check_bool "root stream unchanged by forking" true
+    (decide_sequence pristine ~n:300 = decide_sequence forked ~n:300);
+  check_bool "root has no scope" true (F.Injector.scope pristine = None)
+
+let test_fork_campaign_digest_unchanged () =
+  (* the seeded single-device campaign must render byte-identically
+     whether or not sibling device injectors were forked from the same
+     plan in between *)
+  let plan = F.Plan.default_recoverable ~seed:11 () in
+  let a = small_campaign ~plan in
+  ignore (F.Injector.fork (F.Injector.create plan) ~scope:1);
+  let b = small_campaign ~plan in
+  check_string "digest unchanged"
+    (F.Log.render a.Kernels.Campaign.log)
+    (F.Log.render b.Kernels.Campaign.log)
+
 let () =
   Alcotest.run "fault"
     [
@@ -322,5 +368,16 @@ let () =
         [
           Alcotest.test_case "lost-message bookkeeping" `Quick
             test_injector_lost_accounting;
+        ] );
+      ( "fork",
+        [
+          Alcotest.test_case "same scope, same stream" `Quick
+            test_fork_deterministic;
+          Alcotest.test_case "sibling scopes independent" `Quick
+            test_fork_siblings_independent;
+          Alcotest.test_case "forking never draws from the root" `Quick
+            test_fork_leaves_root_stream_untouched;
+          Alcotest.test_case "campaign digest unchanged" `Quick
+            test_fork_campaign_digest_unchanged;
         ] );
     ]

@@ -181,6 +181,70 @@ let test_embedded_addresses_are_hugepage_aligned () =
   let p2 = H.malloc h 100_000 in
   check_bool "hugepage slot recycled" true (p2.H.rp_addr = p.H.rp_addr)
 
+(* ---- prompt settlement around quarantine (cluster drain regression) --- *)
+
+(* the prompt-settle contract is stated for fault-armed SoCs (the
+   watchdog machinery owns the abort hooks), so build one: an empty
+   plan injects nothing but arms the watchdogs *)
+let mk_fault_handle () =
+  let design =
+    Beethoven.Elaborate.elaborate
+      (Kernels.Vecadd.config ~n_cores:2 ())
+      Platform.Device.aws_f1
+  in
+  let soc =
+    Beethoven.Soc.create
+      ~fault:(Fault.Injector.create Fault.Plan.none)
+      design
+      ~behaviors:(fun _ -> Kernels.Vecadd.behavior)
+  in
+  H.create soc
+
+let send_vecadd h ~core p =
+  H.send h ~system:"VecAdd" ~core ~cmd:Kernels.Vecadd.command
+    ~args:
+      [
+        ("addend", 1L);
+        ("vec_addr", Int64.of_int p.H.rp_addr);
+        ("out_addr", Int64.of_int p.H.rp_addr);
+        ("n_eles", 16L);
+      ]
+
+let test_quarantine_reroutes_inflight () =
+  let h = mk_fault_handle () in
+  let p = H.malloc h 256 in
+  let doomed = send_vecadd h ~core:0 p in
+  check_bool "pending before quarantine" true (H.try_collect doomed = H.Pending);
+  (* the health monitor writes core 0 off while the command is in flight:
+     it must reroute to core 1, not sit Pending until a watchdog *)
+  H.quarantine_core h ~system_id:0 ~core_id:0 ~reason:"health monitor";
+  Desim.Engine.run (H.engine h);
+  (match H.try_collect doomed with
+  | H.Done v -> Alcotest.(check int64) "rerouted and completed" 16L v
+  | H.Pending -> Alcotest.fail "stayed pending across quarantine"
+  | H.Failed m -> Alcotest.fail ("failed instead of rerouting: " ^ m))
+
+let test_try_collect_prompt_fail_when_no_core_survives () =
+  let h = mk_fault_handle () in
+  let p = H.malloc h 256 in
+  let doomed = send_vecadd h ~core:0 p in
+  H.quarantine_core h ~system_id:0 ~core_id:1 ~reason:"health monitor";
+  H.quarantine_core h ~system_id:0 ~core_id:0 ~reason:"health monitor";
+  (* no survivor: the handle must settle Failed at the quarantine
+     instant, with NO engine time — a draining dispatcher polls this *)
+  (match H.try_collect doomed with
+  | H.Failed _ -> ()
+  | H.Pending -> Alcotest.fail "quarantine-doomed command stayed Pending"
+  | H.Done _ -> Alcotest.fail "cannot complete on a quarantined system");
+  (* and a fresh send to the written-off system settles at submission *)
+  let late = send_vecadd h ~core:0 p in
+  (match H.try_collect late with
+  | H.Failed _ -> ()
+  | _ -> Alcotest.fail "post-quarantine send did not fail promptly");
+  let settled = ref false in
+  H.on_settled late (fun r -> settled := Result.is_error r);
+  check_bool "on_settled fires immediately with Error" true !settled
+
 let test_ace_coherence_counted () =
   (* embedded platforms snoop on every fabric memory transaction *)
   let run platform =
@@ -274,6 +338,10 @@ let () =
           Alcotest.test_case "hugepage alignment" `Quick
             test_embedded_addresses_are_hugepage_aligned;
           Alcotest.test_case "ace coherence" `Quick test_ace_coherence_counted;
+          Alcotest.test_case "quarantine reroutes in-flight" `Quick
+            test_quarantine_reroutes_inflight;
+          Alcotest.test_case "try_collect fails promptly" `Quick
+            test_try_collect_prompt_fail_when_no_core_survives;
         ] );
       ("properties", props);
     ]
