@@ -741,7 +741,7 @@ let serve_run seed n_clients n_tenants duration_us policy platform cores batch
   let tenants =
     List.init n_tenants (fun i ->
         let load =
-          if i mod 2 = 0 then Serve.Tenant.Open_loop { rate_rps = rate }
+          if i mod 2 = 0 then Serve.Tenant.open_loop ~rate_rps:rate ()
           else Serve.Tenant.Closed_loop { think_ps = think_us * 1_000_000 }
         in
         Serve.Tenant.make
@@ -858,7 +858,7 @@ let cluster_run seed devices warm duration_us rate kills restores curve =
         Serve.Tenant.make ~name:"gold" ~weight:3.0 ~clients:4
           ~slo_ps:400_000_000 ~deadline_ps:900_000_000
           ~mix:[ Serve.Mix.memcpy ~bytes:(8 * 1024) () ]
-          ~load:(Serve.Tenant.Open_loop { rate_rps = rate /. 4. })
+          ~load:(Serve.Tenant.open_loop ~rate_rps:(rate /. 4.) ())
           ();
         Serve.Tenant.make ~name:"bronze" ~weight:1.0 ~clients:2
           ~slo_ps:500_000_000 ~deadline_ps:900_000_000
@@ -982,6 +982,78 @@ let cluster_cmd =
       $ cluster_duration_arg $ cluster_rate_arg $ cluster_kill_arg
       $ cluster_restore_arg $ cluster_curve_arg)
 
+(* ---- scenario subcommand: declarative multi-phase workload graphs ---- *)
+
+let scenario_run name seed list_only format =
+  if list_only then
+    List.iter
+      (fun (n, mk) ->
+        let sc = mk ~seed in
+        Printf.printf "%-28s %s, %d nodes\n" n
+          (match sc.Scenario.sc_backend with
+          | Scenario.Single _ -> "single-device"
+          | Scenario.Fleet _ -> "fleet")
+          (List.length sc.Scenario.sc_nodes))
+      Scenario.bundled
+  else
+    match Scenario.find_bundled name with
+    | None ->
+        Printf.eprintf "unknown scenario %S (try --list)\n" name;
+        exit 2
+    | Some mk ->
+        (* determinism gate: the same scenario value must reproduce the
+           same transcript, entry times and bindings included *)
+        let r1 = Scenario.run (mk ~seed) in
+        let r2 = Scenario.run (mk ~seed) in
+        let t1 = Scenario.transcript_json r1
+        and t2 = Scenario.transcript_json r2 in
+        print_string (if format = "json" then t1 else Scenario.render r1);
+        let deterministic = String.equal t1 t2 in
+        if not deterministic then
+          Printf.eprintf
+            "scenario: NON-DETERMINISTIC: double-run transcripts differ\n";
+        List.iter
+          (fun f -> Printf.eprintf "scenario: %s\n" f)
+          r1.Scenario.res_failures;
+        if (not deterministic) || not r1.Scenario.res_ok then exit 1
+
+let scenario_name_arg =
+  let doc = "Bundled scenario to run (see $(b,--list))." in
+  Arg.(
+    value
+    & opt string "warmup-ramp-hang-recover"
+    & info [ "name" ] ~docv:"NAME" ~doc)
+
+let scenario_list_arg =
+  let doc = "List the bundled scenarios and exit." in
+  Arg.(value & flag & info [ "list" ] ~doc)
+
+let scenario_format_arg =
+  let doc = "Output format: text (human transcript) or json (byte-comparable)." in
+  Arg.(value & opt string "text" & info [ "format" ] ~docv:"FMT" ~doc)
+
+let scenario_cmd =
+  let doc = "execute a declarative multi-phase workload scenario" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs a bundled scenario graph — traffic phases with \
+         piecewise-linear rate curves, mid-run fault arming, cluster \
+         chaos, bounded loops and assertions over the recorded reports — \
+         against a single-device serving session or a device fleet, and \
+         prints the per-node transcript (node, entry/exit simulated \
+         time, bound variables, verdict). The scenario is executed twice \
+         in-process; the run exits 1 if the two transcripts differ \
+         byte-for-byte (determinism) or any scenario assertion failed.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "scenario" ~doc ~man)
+    Term.(
+      const scenario_run $ scenario_name_arg $ seed_arg $ scenario_list_arg
+      $ scenario_format_arg)
+
 let gen_term =
   Term.(const run $ design_arg $ platform_arg $ cores_arg $ emit_arg $ out_arg)
 
@@ -1019,6 +1091,15 @@ let cmd =
   let doc = "compose a Beethoven accelerator system and emit its artifacts" in
   let info = Cmd.info "beethoven_gen" ~version:"1.0" ~doc in
   Cmd.group ~default:gen_term info
-    [ lint_cmd; sta_cmd; sim_cmd; fault_cmd; trace_cmd; serve_cmd; cluster_cmd ]
+    [
+      lint_cmd;
+      sta_cmd;
+      sim_cmd;
+      fault_cmd;
+      trace_cmd;
+      serve_cmd;
+      cluster_cmd;
+      scenario_cmd;
+    ]
 
 let () = exit (Cmd.eval cmd)

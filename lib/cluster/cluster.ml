@@ -176,6 +176,9 @@ type cstate = {
   mutable st_win_completed : int;  (* completions since the last probe *)
   mutable st_win_viol : int;
   mutable st_strikes : int;  (* consecutive hot probe windows *)
+  mutable st_horizon : int;  (* heartbeats self-reschedule until then *)
+  mutable st_served_ps : int;  (* accumulated traffic-phase time *)
+  mutable st_phases : int;  (* phases started (next phase's salt) *)
 }
 
 let now st = Desim.Engine.now st.st_host
@@ -213,13 +216,7 @@ let transition st dv state =
 (* Device boot                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let kinds_used tenants =
-  let used k =
-    List.exists
-      (fun t -> List.exists (fun c -> c.Mix.k_kind = k) t.Tenant.t_mix)
-      tenants
-  in
-  List.filter used [ Mix.Memcpy; Mix.Vecadd ]
+let kinds_used = Serve.kinds_used
 
 let sys_index kinds (kind : Mix.kind) =
   let rec go i = function
@@ -234,11 +231,7 @@ let sys_index kinds (kind : Mix.kind) =
 let boot_soc cfg ~plan ~policy ~traced ~slot ~gen ~platform =
   let kinds = kinds_used cfg.cl_tenants in
   let systems =
-    List.map
-      (function
-        | Mix.Memcpy -> Kernels.Memcpy.system ~n_cores:cfg.cl_n_cores
-        | Mix.Vecadd -> Kernels.Vecadd.system ~n_cores:cfg.cl_n_cores)
-      kinds
+    List.map (fun k -> Serve.system_of_kind k ~n_cores:cfg.cl_n_cores) kinds
   in
   let root = Fault.Injector.create plan in
   let inj =
@@ -249,9 +242,7 @@ let boot_soc cfg ~plan ~policy ~traced ~slot ~gen ~platform =
       (B.Config.make ~name:(Printf.sprintf "dev%d" slot) systems)
       platform
   in
-  let behaviors name =
-    if name = "Memcpy" then Kernels.Memcpy.behavior else Kernels.Vecadd.behavior
-  in
+  let behaviors = Serve.behavior_of_system in
   let tracer =
     if traced then Some (Trace.create ~device:(Printf.sprintf "dev%d" slot) ())
     else None
@@ -467,6 +458,16 @@ let rec submit st ts (r : request) =
               ],
               Kernels.Vecadd.command,
               Int64.of_int n_eles )
+        | Mix.Sort ->
+            (* the sort kernel's in2 channel is unused (in2_bytes = 0);
+               fresh zeroed device buffers sort deterministically *)
+            ( [
+                ("in1", Int64.of_int a.H.rp_addr);
+                ("in2", Int64.of_int a.H.rp_addr);
+                ("out", Int64.of_int b.H.rp_addr);
+              ],
+              Kernels.Machsuite_extra.command,
+              1L )
       in
       let replayed = r.cr_attempts > 0 in
       Hashtbl.replace dv.dv_inflight r.cr_txn { il_req = r; il_gen = gen };
@@ -659,59 +660,17 @@ let offer st ts ~klass ~k =
     true
   end
 
-(* The same seeded client machinery as the single-SoC campaign,
-   generating arrivals on the host engine: per-client streams derive
-   from (seed, tenant, client) only, so the offered load is identical
-   for any placement, device count, or chaos schedule. *)
-let start_clients st =
-  let cfg = st.st_cfg in
-  let horizon = cfg.cl_duration_ps in
-  let engine = st.st_host in
-  Array.iteri
-    (fun ti ts ->
-      let t = ts.ct_t in
-      for ci = 0 to t.Tenant.t_clients - 1 do
-        let rng = Serve.client_rng ~seed:cfg.cl_seed ~tenant:ti ~client:ci in
-        match t.Tenant.t_load with
-        | Tenant.Open_loop { rate_rps } ->
-            if rate_rps <= 0. then
-              invalid_arg "Cluster: open-loop rate must be > 0";
-            let mean_ps = 1e12 /. rate_rps in
-            let rec arrive () =
-              if Desim.Engine.now engine < horizon then begin
-                ignore
-                  (offer st ts ~klass:(Serve.draw_class rng t.Tenant.t_mix)
-                     ~k:None);
-                Desim.Engine.schedule engine
-                  ~delay:(Serve.exp_draw rng ~mean_ps)
-                  arrive
-              end
-            in
-            Desim.Engine.schedule engine
-              ~delay:(Serve.exp_draw rng ~mean_ps)
-              arrive
-        | Tenant.Closed_loop { think_ps } ->
-            let rec issue () =
-              if Desim.Engine.now engine < horizon then begin
-                let k () =
-                  Desim.Engine.schedule engine ~delay:(max 1 think_ps) issue
-                in
-                if
-                  not
-                    (offer st ts
-                       ~klass:(Serve.draw_class rng t.Tenant.t_mix)
-                       ~k:(Some k))
-                then
-                  Desim.Engine.schedule engine
-                    ~delay:(max think_ps 1_000_000)
-                    issue
-              end
-            in
-            Desim.Engine.schedule engine
-              ~delay:(1 + Fault.Rng.int rng ~bound:(max 1 (think_ps + 1)))
-              issue
-      done)
-    st.st_tenants
+(* The same seeded client machinery as the single-SoC campaign
+   (Serve.spawn_clients), generating arrivals on the host engine:
+   per-client streams derive from (seed, salt, tenant, client) only, so
+   the offered load is identical for any placement, device count, or
+   chaos schedule. *)
+let start_clients ?(salt = 0) ?(t0 = 0) ~horizon st =
+  Serve.spawn_clients ~engine:st.st_host ~seed:st.st_cfg.cl_seed ~salt
+    ~horizon ~t0
+    ~tenants:(Array.to_list (Array.map (fun ts -> ts.ct_t) st.st_tenants))
+    ~offer:(fun ~tenant ~klass ~k -> offer st st.st_tenants.(tenant) ~klass ~k)
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* Health: quarantine, drain, re-shard, promotion                     *)
@@ -936,7 +895,7 @@ let rec heartbeat st =
         st.st_strikes <- 0
     | None -> ()
   end;
-  if now st < cfg.cl_duration_ps || cluster_busy st then
+  if now st < st.st_horizon || cluster_busy st then
     schedule_action st ~at:(now st + cfg.cl_heartbeat_ps) (fun () ->
         heartbeat st)
 
@@ -1098,7 +1057,9 @@ type report = {
   c_device_tracers : (string * Trace.t) list;
 }
 
-let run ?tracer ?plan ?fault_policy ?(chaos = []) cfg () =
+(* Build the cluster state and boot every device slot. Shared by the
+   one-shot [run] and by [Session.create]. *)
+let mk_state ?tracer ?plan ?fault_policy cfg =
   let plan =
     match plan with
     | Some p -> p
@@ -1160,6 +1121,9 @@ let run ?tracer ?plan ?fault_policy ?(chaos = []) cfg () =
       st_win_completed = 0;
       st_win_viol = 0;
       st_strikes = 0;
+      st_horizon = 0;
+      st_served_ps = 0;
+      st_phases = 0;
     }
   in
   (* Initial placement: tenants in declaration order onto the least
@@ -1171,23 +1135,13 @@ let run ?tracer ?plan ?fault_policy ?(chaos = []) cfg () =
       | Some slot -> rehome st ts ~target:slot
       | None -> degrade st ts)
     st.st_tenants;
-  (* Chaos schedule and the first heartbeat go on the agenda. *)
-  List.iter
-    (function
-      | Kill { at; dev } ->
-          if dev < 0 || dev >= cfg.cl_devices then
-            invalid_arg "Cluster.run: chaos device out of range";
-          schedule_action st ~at (fun () ->
-              kill_device st st.st_devices.(dev))
-      | Restore { at; dev } ->
-          if dev < 0 || dev >= cfg.cl_devices then
-            invalid_arg "Cluster.run: chaos device out of range";
-          schedule_action st ~at (fun () ->
-              restore_device st st.st_devices.(dev)))
-    chaos;
-  schedule_action st ~at:cfg.cl_heartbeat_ps (fun () -> heartbeat st);
-  start_clients st;
-  drive st;
+  st
+
+(* Assemble the cumulative cluster report from live state. Pure
+   observation (counters, series summaries) — nothing is drained,
+   scheduled or drawn, so sessions can snapshot mid-scenario. *)
+let mk_report st ~duration_ps =
+  let cfg = st.st_cfg in
   let wall_ps = now st in
   let tenants =
     Array.to_list
@@ -1208,7 +1162,7 @@ let run ?tracer ?plan ?fault_policy ?(chaos = []) cfg () =
              tr_bytes_served = ts.ct_bytes;
              tr_offered_rps =
                float_of_int ts.ct_offered
-               /. (float_of_int cfg.cl_duration_ps /. 1e12);
+               /. (float_of_int duration_ps /. 1e12);
              tr_achieved_rps =
                (if wall_ps = 0 then 0.
                 else
@@ -1247,7 +1201,7 @@ let run ?tracer ?plan ?fault_policy ?(chaos = []) cfg () =
   in
   {
     c_seed = cfg.cl_seed;
-    c_duration_ps = cfg.cl_duration_ps;
+    c_duration_ps = duration_ps;
     c_wall_ps = wall_ps;
     c_tenants = tenants;
     c_devices = devices;
@@ -1272,6 +1226,136 @@ let run ?tracer ?plan ?fault_policy ?(chaos = []) cfg () =
              | Some tr -> Some (Printf.sprintf "dev%d" dv.dv_slot, tr)
              | None -> None);
   }
+
+let run ?tracer ?plan ?fault_policy ?(chaos = []) cfg () =
+  let st = mk_state ?tracer ?plan ?fault_policy cfg in
+  (* Chaos schedule and the first heartbeat go on the agenda. *)
+  List.iter
+    (function
+      | Kill { at; dev } ->
+          if dev < 0 || dev >= cfg.cl_devices then
+            invalid_arg "Cluster.run: chaos device out of range";
+          schedule_action st ~at (fun () ->
+              kill_device st st.st_devices.(dev))
+      | Restore { at; dev } ->
+          if dev < 0 || dev >= cfg.cl_devices then
+            invalid_arg "Cluster.run: chaos device out of range";
+          schedule_action st ~at (fun () ->
+              restore_device st st.st_devices.(dev)))
+    chaos;
+  st.st_horizon <- cfg.cl_duration_ps;
+  st.st_served_ps <- cfg.cl_duration_ps;
+  st.st_phases <- 1;
+  schedule_action st ~at:cfg.cl_heartbeat_ps (fun () -> heartbeat st);
+  start_clients ~horizon:cfg.cl_duration_ps st;
+  drive st;
+  mk_report st ~duration_ps:cfg.cl_duration_ps
+
+(* ------------------------------------------------------------------ *)
+(* Sessions: the fleet outlives a single campaign                     *)
+(* ------------------------------------------------------------------ *)
+
+module Session = struct
+  type t = cstate
+
+  let create ?tracer ?plan ?fault_policy cfg () =
+    mk_state ?tracer ?plan ?fault_policy cfg
+
+  let now = now
+  let health st ~dev =
+    if dev < 0 || dev >= Array.length st.st_devices then
+      invalid_arg "Cluster.Session.health: device out of range";
+    st.st_devices.(dev).dv_state
+
+  let check_dev st name dev =
+    if dev < 0 || dev >= Array.length st.st_devices then
+      invalid_arg (Printf.sprintf "Cluster.Session.%s: device out of range" name)
+
+  (* Immediate chaos actions: the executor performs these between
+     lockstep rounds (the cluster is settled), so they run directly
+     rather than through the agenda. *)
+  let kill st ~dev =
+    check_dev st "kill" dev;
+    kill_device st st.st_devices.(dev)
+
+  let restore st ~dev =
+    check_dev st "restore" dev;
+    restore_device st st.st_devices.(dev)
+
+  let promote_standby st =
+    let standby =
+      Array.to_list st.st_devices
+      |> List.find_opt (fun dv ->
+             dv.dv_state = Health.Standby && not dv.dv_frozen)
+    in
+    match standby with
+    | Some dv ->
+        promote st dv;
+        true
+    | None -> false
+
+  (* One traffic phase: re-arm the heartbeat monitor, spawn a fresh
+     generation of clients (salt = phase index; phase 0 = the
+     historical streams), and drive the fleet until every engine and
+     the agenda are quiet — admitted requests settled, drains and
+     replays resolved. Reports are cumulative over the session (the
+     dedup/ack ledgers are cluster-lifetime), so [c_lost_acked] stays
+     meaningful across phases. *)
+  let run_phase st ~duration_ps =
+    if duration_ps < 1 then
+      invalid_arg "Cluster.Session.run_phase: duration must be >= 1";
+    let t0 = now st in
+    st.st_horizon <- t0 + duration_ps;
+    st.st_served_ps <- st.st_served_ps + duration_ps;
+    (* between phases the agenda is empty (drive runs it dry), so the
+       heartbeat chain is always re-armed here *)
+    schedule_action st ~at:(t0 + st.st_cfg.cl_heartbeat_ps) (fun () ->
+        heartbeat st);
+    start_clients ~salt:st.st_phases ~t0 ~horizon:(t0 + duration_ps) st;
+    st.st_phases <- st.st_phases + 1;
+    drive st;
+    mk_report st ~duration_ps:(max 1 st.st_served_ps)
+
+  (* Advance cluster time without traffic: host engine plus every live
+     device engine move to [now + delta] in lockstep (pending agenda
+     work — e.g. a drain deadline — fires on the way). *)
+  let sleep st ~delta_ps =
+    if delta_ps < 0 then
+      invalid_arg "Cluster.Session.sleep: negative delta";
+    let target = now st + delta_ps in
+    let rec go () =
+      (match st.st_agenda with
+      | it :: tl when it.ag_time <= target ->
+          Desim.Engine.run ~until:it.ag_time
+            ~max_events:st.st_cfg.cl_max_events st.st_host;
+          Array.iter
+            (fun dv ->
+              if not dv.dv_frozen then
+                Desim.Engine.run ~until:it.ag_time
+                  ~max_events:st.st_cfg.cl_max_events (dev_engine dv))
+            st.st_devices;
+          st.st_agenda <- tl;
+          it.ag_act ();
+          (* dispatch any work the action freed; completions landing
+             after [target] stay pending and settle in the next phase *)
+          pump_all st;
+          go ()
+      | _ -> ())
+    in
+    go ();
+    Desim.Engine.run ~until:target ~max_events:st.st_cfg.cl_max_events
+      st.st_host;
+    Array.iter
+      (fun dv ->
+        if not dv.dv_frozen then
+          Desim.Engine.run ~until:target ~max_events:st.st_cfg.cl_max_events
+            (dev_engine dv))
+      st.st_devices
+
+  let snapshot st = mk_report st ~duration_ps:(max 1 st.st_served_ps)
+  let phases st = st.st_phases
+  let quarantines st = st.st_quarantines
+end
 
 (* ------------------------------------------------------------------ *)
 (* Accounting checks, digest, render                                  *)
@@ -1444,8 +1528,9 @@ let device_loss_curve ?(seed = 42) ?(duration_ps = 1_500_000_000)
           ~deadline_ps:600_000_000
           ~mix:[ Mix.memcpy ~bytes:(16 * 1024) () ]
           ~load:
-            (Tenant.Open_loop
-               { rate_rps = rate_rps /. float_of_int (4 * devices) })
+            (Tenant.open_loop
+               ~rate_rps:(rate_rps /. float_of_int (4 * devices))
+               ())
           ())
   in
   let point ~kill =

@@ -168,6 +168,63 @@ val run :
     with the serving device; per-device tracers (device-prefixed
     tracks) ride in the report. *)
 
+(** {1 Sessions}
+
+    A cluster session keeps the fleet alive across multiple traffic
+    phases and exposes chaos as immediate actions, so a scenario can
+    serve, kill a device mid-story, keep serving while the heartbeat
+    monitor quarantines / drains / re-shards / replays, restore the
+    slot, and assert on the cumulative ledgers. Phase [i] spawns its
+    clients with stream salt [i] (phase 0 = the historical streams),
+    and reports are {e cumulative} over the session — the ack/dedup
+    ledgers are cluster-lifetime, so [c_lost_acked] remains the
+    zero-lost-acks invariant across any phase/chaos interleaving. *)
+
+module Session : sig
+  type t
+
+  val create :
+    ?tracer:Trace.t ->
+    ?plan:Fault.Plan.t ->
+    ?fault_policy:Fault.Policy.t ->
+    config ->
+    unit ->
+    t
+  (** Boot every device slot and place the tenants. No clients run and
+      no heartbeat is armed until the first phase. *)
+
+  val run_phase : t -> duration_ps:int -> report
+  (** One traffic phase from the current cluster time: re-arm the
+      heartbeat chain, spawn this phase's clients (open-loop rate curves
+      are anchored at the phase start), and drive the lockstep until
+      every admitted request settled and all drains/replays resolved.
+      Returns the cumulative session report. *)
+
+  val sleep : t -> delta_ps:int -> unit
+  (** Advance cluster time without traffic (pending agenda work — e.g.
+      a drain deadline — fires on the way). *)
+
+  val kill : t -> dev:int -> unit
+  (** Freeze the slot's engine now — the next phase's heartbeats notice,
+      quarantine, drain and re-shard. *)
+
+  val restore : t -> dev:int -> unit
+  (** Replay whatever the dead generation still held, then boot a fresh
+      SoC generation into the slot (standby pool). *)
+
+  val promote_standby : t -> bool
+  (** Promote the first available standby device into service
+      immediately; [false] when none is available. *)
+
+  val health : t -> dev:int -> Health.state
+  val snapshot : t -> report
+  (** Cumulative session report without driving anything. *)
+
+  val now : t -> int
+  val phases : t -> int
+  val quarantines : t -> int
+end
+
 val violations : report -> string list
 (** Conservation and exactly-once accounting, [[]] when clean: per
     tenant offered = admitted + shed-at-admission and admitted =

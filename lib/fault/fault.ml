@@ -342,7 +342,7 @@ end
 
 module Injector = struct
   type t = {
-    plan : Plan.t;
+    mutable plan : Plan.t; (* mutable so a hang can be armed mid-run *)
     scope : int option; (* the device/shard this child was forked for *)
     ecc : Ecc.t;
     streams : Rng.t array; (* one per class, decision stream *)
@@ -419,6 +419,19 @@ module Injector = struct
     1 + Rng.int t.aux ~bound
 
   let draw_int t ~bound = Rng.int t.aux ~bound
+
+  (* Arm (or re-arm) a core hang on a live injector. The decision and
+     aux streams are untouched, so a campaign that never reaches the
+     victim is bit-identical to one run without the call; the hang
+     counters restart so the next [hang_after]-th dispatch fires. *)
+  let set_hang ?(after = 1) t ~system ~core =
+    t.plan <-
+      { t.plan with
+        Plan.hang =
+          Some { Plan.hang_system = system; hang_core = core;
+                 hang_after = after } };
+    t.hang_seen <- 0;
+    t.hang_fired <- false
 
   let should_hang t ~system ~core =
     match t.plan.Plan.hang with

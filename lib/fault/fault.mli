@@ -199,9 +199,17 @@ module Injector : sig
   val draw_int : t -> bound:int -> int
   (** Auxiliary deterministic draw (victim bit/word selection). *)
 
+  val set_hang : ?after:int -> t -> system:int -> core:int -> unit
+  (** Arm (or re-arm) a core hang on a live injector — the scenario
+      executor's "inject a hang mid-run" action. Replaces the plan's
+      hang spec and restarts the dispatch counter, so the [after]-th
+      (default 1) subsequent dispatch to the victim fires. The seeded
+      decision streams are untouched: a campaign that never dispatches
+      to the victim is bit-identical to one run without this call. *)
+
   val should_hang : t -> system:int -> core:int -> bool
-  (** True exactly once: when the plan's hang spec matches this core and
-      its dispatch count reaches [hang_after]. *)
+  (** True exactly once per arming: when the plan's hang spec matches
+      this core and its dispatch count reaches [hang_after]. *)
 
   (** {2 Accounting} *)
 

@@ -209,19 +209,19 @@ let scratchpads k =
   | Merge_sort ->
       [ B.Config.scratchpad ~name:"runs" ~data_bits:32 ~n_datas:(2 * n) () ]
 
+let system k ~n_cores =
+  B.Config.system ~name:(name k) ~n_cores
+    ~read_channels:
+      [
+        B.Config.read_channel ~name:"in1" ~data_bytes:8 ();
+        B.Config.read_channel ~name:"in2" ~data_bytes:8 ();
+      ]
+    ~write_channels:[ B.Config.write_channel ~name:"out" ~data_bytes:8 () ]
+    ~scratchpads:(scratchpads k) ~commands:[ command ]
+    ~kernel_resources:(kernel_resources k) ()
+
 let config k ~n_cores =
-  B.Config.make ~name:("machsuite_extra_" ^ name k)
-    [
-      B.Config.system ~name:(name k) ~n_cores
-        ~read_channels:
-          [
-            B.Config.read_channel ~name:"in1" ~data_bytes:8 ();
-            B.Config.read_channel ~name:"in2" ~data_bytes:8 ();
-          ]
-        ~write_channels:[ B.Config.write_channel ~name:"out" ~data_bytes:8 () ]
-        ~scratchpads:(scratchpads k) ~commands:[ command ]
-        ~kernel_resources:(kernel_resources k) ();
-    ]
+  B.Config.make ~name:("machsuite_extra_" ^ name k) [ system k ~n_cores ]
 
 (* ------------------------------------------------------------------ *)
 (* Behaviors                                                           *)

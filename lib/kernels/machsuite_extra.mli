@@ -17,6 +17,23 @@ val data_size : kernel -> int
 val beethoven_cycles : kernel -> int
 
 val config : kernel -> n_cores:int -> Beethoven.Config.t
+
+val system : kernel -> n_cores:int -> Beethoven.Config.system
+(** The kernel's system alone, for composing into multi-system SoCs —
+    the serving layer deploys ["Sort"] next to memcpy/vecadd so request
+    mixes are genuinely heterogeneous. *)
+
+val command : Beethoven.Cmd_spec.command
+(** The shared ["launch"] command: [in1]/[in2]/[out] buffer addresses
+    (kernels with [in2_bytes k = 0] ignore [in2]); responds [1L] once
+    the result is written back. *)
+
+val in1_bytes : kernel -> int
+val in2_bytes : kernel -> int
+val out_bytes : kernel -> int
+(** Exact device-buffer footprints for the kernel's fixed [data_size]
+    working set (what a host must allocate to launch it). *)
+
 val behavior : kernel -> Beethoven.Soc.behavior
 
 type run_result = {

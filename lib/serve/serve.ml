@@ -8,7 +8,7 @@ module S = Desim.Stats
 (* ------------------------------------------------------------------ *)
 
 module Mix = struct
-  type kind = Memcpy | Vecadd
+  type kind = Memcpy | Vecadd | Sort
 
   type klass = {
     k_label : string;
@@ -19,7 +19,10 @@ module Mix = struct
 
   type t = klass list
 
-  let kind_system = function Memcpy -> "Memcpy" | Vecadd -> "VecAdd"
+  let kind_system = function
+    | Memcpy -> "Memcpy"
+    | Vecadd -> "VecAdd"
+    | Sort -> "Sort"
 
   (* Payloads are rounded to the 64 B beat granule so every request maps
      onto whole bursts; vecadd additionally needs 4 B elements, which 64
@@ -48,6 +51,16 @@ module Mix = struct
     in
     { k_label; k_kind = Vecadd; k_bytes = b; k_weight = weight }
 
+  (* The MachSuite merge-sort kernel sorts a fixed 2048-element working
+     set, so the class's payload is pinned to the kernel's buffer
+     footprint rather than caller-chosen. *)
+  let sort ?label ?(weight = 1.0) () =
+    let b = Kernels.Machsuite_extra.(out_bytes Merge_sort) in
+    let k_label =
+      match label with Some l -> l | None -> Printf.sprintf "sort-%s" (human b)
+    in
+    { k_label; k_kind = Sort; k_bytes = b; k_weight = weight }
+
   let default =
     [
       memcpy ~weight:3.0 ~bytes:(4 * 1024) ();
@@ -55,12 +68,90 @@ module Mix = struct
       memcpy ~weight:1.0 ~bytes:(64 * 1024) ();
       vecadd ~weight:2.0 ~bytes:(4 * 1024) ();
     ]
+
+  let heterogeneous =
+    default @ [ sort ~weight:1.0 () ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Piecewise-linear rate curves                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Curve = struct
+  (* (time_ps, rps) breakpoints with strictly increasing times; the
+     rate is linearly interpolated between breakpoints and clamped to
+     the first/last rate outside them. *)
+  type t = (int * float) array
+
+  let make pts =
+    if pts = [] then invalid_arg "Serve.Curve.make: empty breakpoint list";
+    let a = Array.of_list pts in
+    Array.iteri
+      (fun i (tm, r) ->
+        if r < 0. then invalid_arg "Serve.Curve.make: negative rate";
+        if tm < 0 then invalid_arg "Serve.Curve.make: negative time";
+        if i > 0 && tm <= fst a.(i - 1) then
+          invalid_arg "Serve.Curve.make: times must be strictly increasing")
+      a;
+    a
+
+  let const r = make [ (0, r) ]
+
+  let breakpoints c = Array.to_list c
+
+  let rate_at c ~at_ps =
+    let n = Array.length c in
+    let t0, r0 = c.(0) and tn, rn = c.(n - 1) in
+    if at_ps <= t0 then r0
+    else if at_ps >= tn then rn
+    else begin
+      (* find the segment [i, i+1] with t_i <= at_ps < t_{i+1} *)
+      let i = ref 0 in
+      while fst c.(!i + 1) <= at_ps do
+        incr i
+      done;
+      let ta, ra = c.(!i) and tb, rb = c.(!i + 1) in
+      let f = float_of_int (at_ps - ta) /. float_of_int (tb - ta) in
+      ra +. (f *. (rb -. ra))
+    end
+
+  let max_rate c = Array.fold_left (fun m (_, r) -> Float.max m r) 0. c
+
+  (* A curve whose every breakpoint carries the same rate degenerates to
+     a constant: arrival generation takes the exact single-rate path, so
+     a constant curve is byte-identical to no curve at all. *)
+  let constant_rate c =
+    let _, r0 = c.(0) in
+    if Array.for_all (fun (_, r) -> r = r0) c then Some r0 else None
+
+  (* One day cycle: overnight trough, linear morning ramp, a flat midday
+     peak plateau, evening fall-off back to the trough. *)
+  let diurnal ~period_ps ~trough_rps ~peak_rps =
+    if period_ps < 10 then invalid_arg "Serve.Curve.diurnal: period too short";
+    make
+      [
+        (0, trough_rps);
+        (period_ps / 10, trough_rps);
+        (4 * period_ps / 10, peak_rps);
+        (6 * period_ps / 10, peak_rps);
+        (9 * period_ps / 10, trough_rps);
+        (period_ps, trough_rps);
+      ]
+
+  let render c =
+    String.concat " "
+      (List.map (fun (tm, r) -> Printf.sprintf "%d:%.0f" tm r) (breakpoints c))
 end
 
 module Tenant = struct
   type load =
-    | Open_loop of { rate_rps : float }
+    | Open_loop of { rate_rps : float; rate_curve : Curve.t option }
     | Closed_loop of { think_ps : int }
+
+  let open_loop ?curve ~rate_rps () =
+    Open_loop { rate_rps; rate_curve = curve }
+
+  let closed_loop ~think_ps () = Closed_loop { think_ps }
 
   type t = {
     t_name : string;
@@ -372,6 +463,17 @@ and submit st ~batch (ts, r, si, core) =
           ],
           Kernels.Vecadd.command,
           Int64.of_int n_eles )
+    | Mix.Sort ->
+        (* the sort kernel's in2 channel is unused (in2_bytes = 0); the
+           freshly allocated input buffer is zeroed device memory, which
+           sorts deterministically *)
+        ( [
+            ("in1", Int64.of_int a.H.rp_addr);
+            ("in2", Int64.of_int a.H.rp_addr);
+            ("out", Int64.of_int b.H.rp_addr);
+          ],
+          Kernels.Machsuite_extra.command,
+          1L )
   in
   let rh = H.send ~batch ~queued_at:r.rq_arrival h ~system:sy.sy_name ~core ~cmd ~args in
   H.on_settled rh (fun res ->
@@ -455,37 +557,82 @@ let exp_draw rng ~mean_ps =
   max 1 (int_of_float (-.log (1. -. u) *. mean_ps))
 
 (* Every client owns a splitmix64 stream derived from (campaign seed,
-   tenant index, client index) only — arrivals, sizes and think times
-   never depend on completion order, so the offered load is identical
-   across policies and fault plans. *)
-let client_rng ~seed ~tenant ~client =
+   phase salt, tenant index, client index) only — arrivals, sizes and
+   think times never depend on completion order, so the offered load is
+   identical across policies and fault plans. Salt 0 (the default, and
+   every single-phase campaign) reproduces the historical derivation
+   exactly; session phases salt by phase index so successive phases
+   draw mutually independent streams. *)
+let client_rng ?(salt = 0) ~seed ~tenant ~client () =
   Fault.Rng.create
     ~seed:
       (Int64.of_int
-         ((seed * 1_000_003) + (tenant * 8191) + (client * 131) + 17))
+         ((seed * 1_000_003) + (salt * 523_717) + (tenant * 8191)
+         + (client * 131) + 17))
 
-let start_clients st =
-  let cfg = st.st_cfg in
-  let horizon = cfg.c_duration_ps in
-  let engine = st.st_engine in
-  Array.iteri
-    (fun ti ts ->
-      let t = ts.ts_t in
+(* The seeded client machinery, shared by the single-SoC campaign, the
+   session phases, and the cluster layer. Arrivals are generated on
+   [engine] in [now, horizon); [offer] admits one request for tenant
+   [tenant] and returns false when shed at admission.
+
+   Open-loop clients without a curve (or with a constant one — see
+   [Curve.constant_rate]) draw exponential inter-arrivals at the fixed
+   rate: exactly the historical draw sequence. A genuinely time-varying
+   curve generates a non-homogeneous Poisson process by Lewis-Shedler
+   thinning: candidate arrivals at the curve's max rate, each accepted
+   with probability rate(now - t0) / max_rate. [t0] anchors curve time
+   (a phase started at t0 evaluates the curve from 0 at t0). *)
+let spawn_clients ~engine ~seed ?(salt = 0) ~horizon ?(t0 = 0) ~tenants
+    ~offer () =
+  List.iteri
+    (fun ti t ->
       for ci = 0 to t.Tenant.t_clients - 1 do
-        let rng = client_rng ~seed:cfg.c_seed ~tenant:ti ~client:ci in
+        let rng = client_rng ~salt ~seed ~tenant:ti ~client:ci () in
         match t.Tenant.t_load with
-        | Tenant.Open_loop { rate_rps } ->
-            if rate_rps <= 0. then
-              invalid_arg "Serve: open-loop rate must be > 0";
-            let mean_ps = 1e12 /. rate_rps in
-            let rec arrive () =
-              if Desim.Engine.now engine < horizon then begin
-                ignore (offer st ts ~klass:(draw_class rng t.Tenant.t_mix) ~k:None);
-                Desim.Engine.schedule engine ~delay:(exp_draw rng ~mean_ps)
-                  arrive
-              end
+        | Tenant.Open_loop { rate_rps; rate_curve } -> (
+            let constant rate =
+              if rate <= 0. then
+                invalid_arg "Serve: open-loop rate must be > 0";
+              let mean_ps = 1e12 /. rate in
+              let rec arrive () =
+                if Desim.Engine.now engine < horizon then begin
+                  ignore
+                    (offer ~tenant:ti ~klass:(draw_class rng t.Tenant.t_mix)
+                       ~k:None);
+                  Desim.Engine.schedule engine ~delay:(exp_draw rng ~mean_ps)
+                    arrive
+                end
+              in
+              Desim.Engine.schedule engine ~delay:(exp_draw rng ~mean_ps)
+                arrive
             in
-            Desim.Engine.schedule engine ~delay:(exp_draw rng ~mean_ps) arrive
+            match rate_curve with
+            | None -> constant rate_rps
+            | Some c -> (
+                match Curve.constant_rate c with
+                | Some r -> constant r
+                | None ->
+                    let lmax = Curve.max_rate c in
+                    let mean_ps = 1e12 /. lmax in
+                    let rec arrive () =
+                      let now = Desim.Engine.now engine in
+                      if now < horizon then begin
+                        if
+                          Fault.Rng.float rng *. lmax
+                          < Curve.rate_at c ~at_ps:(now - t0)
+                        then
+                          ignore
+                            (offer ~tenant:ti
+                               ~klass:(draw_class rng t.Tenant.t_mix)
+                               ~k:None);
+                        Desim.Engine.schedule engine
+                          ~delay:(exp_draw rng ~mean_ps)
+                          arrive
+                      end
+                    in
+                    Desim.Engine.schedule engine
+                      ~delay:(exp_draw rng ~mean_ps)
+                      arrive))
         | Tenant.Closed_loop { think_ps } ->
             let rec issue () =
               if Desim.Engine.now engine < horizon then begin
@@ -494,7 +641,7 @@ let start_clients st =
                 in
                 if
                   not
-                    (offer st ts
+                    (offer ~tenant:ti
                        ~klass:(draw_class rng t.Tenant.t_mix)
                        ~k:(Some k))
                 then
@@ -510,7 +657,15 @@ let start_clients st =
               ~delay:(1 + Fault.Rng.int rng ~bound:(max 1 (think_ps + 1)))
               issue
       done)
-    st.st_tenants
+    tenants
+
+let start_clients ?(salt = 0) ?(t0 = 0) ~horizon st =
+  spawn_clients ~engine:st.st_engine ~seed:st.st_cfg.c_seed ~salt ~horizon
+    ~t0
+    ~tenants:(Array.to_list (Array.map (fun ts -> ts.ts_t) st.st_tenants))
+    ~offer:(fun ~tenant ~klass ~k ->
+      offer st st.st_tenants.(tenant) ~klass ~k)
+    ()
 
 (* ------------------------------------------------------------------ *)
 (* Results                                                            *)
@@ -580,92 +735,59 @@ let phase_of series =
           ph_p999_us = q 0.999;
         }
 
-let kinds_used cfg =
+let kinds_used tenants =
   let used k =
     List.exists
       (fun t -> List.exists (fun c -> c.Mix.k_kind = k) t.Tenant.t_mix)
-      cfg.c_tenants
+      tenants
   in
-  List.filter used [ Mix.Memcpy; Mix.Vecadd ]
+  List.filter used [ Mix.Memcpy; Mix.Vecadd; Mix.Sort ]
 
-let run ?tracer ?plan ?fault_policy ?(platform = Platform.Device.aws_f1) cfg
-    () =
-  let kinds = kinds_used cfg in
-  let systems =
-    List.map
-      (function
-        | Mix.Memcpy -> Kernels.Memcpy.system ~n_cores:cfg.c_n_cores
-        | Mix.Vecadd -> Kernels.Vecadd.system ~n_cores:cfg.c_n_cores)
-      kinds
-  in
-  let inj = Option.map Fault.Injector.create plan in
-  let design =
-    B.Elaborate.elaborate (B.Config.make ~name:"serve" systems) platform
-  in
-  let behaviors name =
-    if name = "Memcpy" then Kernels.Memcpy.behavior else Kernels.Vecadd.behavior
-  in
-  let soc =
-    Soc.create ?tracer ?fault:inj ?policy:fault_policy design ~behaviors
-  in
-  let handle = H.create soc in
-  let engine = Soc.engine soc in
-  let baseline_free = Runtime.Alloc.free_bytes (H.allocator handle) in
-  let st =
-    {
-      st_cfg = cfg;
-      st_engine = engine;
-      st_handle = handle;
-      st_tracer = tracer;
-      st_tenants =
-        Array.of_list
-          (List.map
-             (fun t ->
-               {
-                 ts_t = t;
-                 ts_queue = Queue.create ();
-                 ts_vft = 0.;
-                 ts_offered = 0;
-                 ts_admitted = 0;
-                 ts_shed_queue = 0;
-                 ts_shed_deadline = 0;
-                 ts_shed_degraded = 0;
-                 ts_completed = 0;
-                 ts_failed = 0;
-                 ts_bad = 0;
-                 ts_slo_viol = 0;
-                 ts_bytes = 0;
-                 ts_q_wait = S.series ();
-                 ts_service = S.series ();
-                 ts_collect = S.series ();
-                 ts_total = S.series ();
-               })
-             cfg.c_tenants);
-      st_systems =
-        Array.of_list
-          (List.mapi
-             (fun i k ->
-               {
-                 sy_kind = k;
-                 sy_name = Mix.kind_system k;
-                 sy_id = i;
-                 sy_out = Array.make cfg.c_n_cores 0;
-                 sy_disp = Array.make cfg.c_n_cores 0;
-               })
-             kinds);
-      st_global_v = 0.;
-      st_armed = false;
-      st_batches = 0;
-      st_batched = 0;
-    }
-  in
-  start_clients st;
-  Desim.Engine.drain_or_fail ~max_events:cfg.c_max_events engine;
-  let wall_ps = Desim.Engine.now engine in
+let system_of_kind (k : Mix.kind) ~n_cores =
+  match k with
+  | Mix.Memcpy -> Kernels.Memcpy.system ~n_cores
+  | Mix.Vecadd -> Kernels.Vecadd.system ~n_cores
+  | Mix.Sort ->
+      Kernels.Machsuite_extra.system Kernels.Machsuite_extra.Merge_sort
+        ~n_cores
+
+let behavior_of_system name =
+  if name = "Memcpy" then Kernels.Memcpy.behavior
+  else if name = "VecAdd" then Kernels.Vecadd.behavior
+  else Kernels.Machsuite_extra.behavior Kernels.Machsuite_extra.Merge_sort
+
+let mk_tstate t =
+  {
+    ts_t = t;
+    ts_queue = Queue.create ();
+    ts_vft = 0.;
+    ts_offered = 0;
+    ts_admitted = 0;
+    ts_shed_queue = 0;
+    ts_shed_deadline = 0;
+    ts_shed_degraded = 0;
+    ts_completed = 0;
+    ts_failed = 0;
+    ts_bad = 0;
+    ts_slo_viol = 0;
+    ts_bytes = 0;
+    ts_q_wait = S.series ();
+    ts_service = S.series ();
+    ts_collect = S.series ();
+    ts_total = S.series ();
+  }
+
+(* Assemble a report from the live campaign state. Pure observation: it
+   reads counters, summarizes the latency series and checks allocator
+   invariants, but never touches a queue, an engine, or an RNG stream —
+   the contract that makes {!Session.snapshot} safe mid-run. *)
+let mk_report st ~inj ~baseline_free ~duration_ps ~t0 =
+  let cfg = st.st_cfg in
+  let wall_ps = Desim.Engine.now st.st_engine - t0 in
   let stuck =
     Array.fold_left (fun a ts -> a + Queue.length ts.ts_queue) 0 st.st_tenants
   in
-  let alloc = H.allocator handle in
+  let alloc = H.allocator st.st_handle in
   let tenants =
     Array.to_list
       (Array.map
@@ -685,7 +807,7 @@ let run ?tracer ?plan ?fault_policy ?(platform = Platform.Device.aws_f1) cfg
              tr_bytes_served = ts.ts_bytes;
              tr_offered_rps =
                float_of_int ts.ts_offered
-               /. (float_of_int cfg.c_duration_ps /. 1e12);
+               /. (float_of_int duration_ps /. 1e12);
              tr_achieved_rps =
                (if wall_ps = 0 then 0.
                 else
@@ -701,12 +823,12 @@ let run ?tracer ?plan ?fault_policy ?(platform = Platform.Device.aws_f1) cfg
   {
     r_seed = cfg.c_seed;
     r_policy = cfg.c_policy;
-    r_duration_ps = cfg.c_duration_ps;
+    r_duration_ps = duration_ps;
     r_wall_ps = wall_ps;
     r_tenants = tenants;
     r_batches = st.st_batches;
     r_batched_commands = st.st_batched;
-    r_server_busy_ps = H.server_busy_ps handle;
+    r_server_busy_ps = H.server_busy_ps st.st_handle;
     r_dispatched_per_core =
       Array.to_list
         (Array.map (fun sy -> (sy.sy_name, Array.copy sy.sy_disp)) st.st_systems);
@@ -716,6 +838,160 @@ let run ?tracer ?plan ?fault_policy ?(platform = Platform.Device.aws_f1) cfg
     r_free_delta = Runtime.Alloc.free_bytes alloc - baseline_free;
     r_injector = inj;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Sessions: the SoC outlives a single campaign                       *)
+(* ------------------------------------------------------------------ *)
+
+module Session = struct
+  type t = {
+    se_cfg : config;
+    se_engine : Desim.Engine.t;
+    se_handle : H.t;
+    se_tracer : Trace.t option;
+    se_inj : Fault.Injector.t option;
+    se_baseline_free : int;
+    se_kinds : Mix.kind list;  (* systems deployed at create time *)
+    mutable se_phases : int;  (* phases started (the next phase's salt) *)
+    mutable se_cur : (sstate * int * int) option;  (* state, t0, duration *)
+    mutable se_last : report option;
+  }
+
+  let create ?tracer ?plan ?fault_policy
+      ?(platform = Platform.Device.aws_f1) cfg () =
+    let kinds = kinds_used cfg.c_tenants in
+    let systems =
+      List.map (fun k -> system_of_kind k ~n_cores:cfg.c_n_cores) kinds
+    in
+    let inj = Option.map Fault.Injector.create plan in
+    let design =
+      B.Elaborate.elaborate (B.Config.make ~name:"serve" systems) platform
+    in
+    let soc =
+      Soc.create ?tracer ?fault:inj ?policy:fault_policy design
+        ~behaviors:behavior_of_system
+    in
+    let handle = H.create soc in
+    let engine = Soc.engine soc in
+    let baseline_free = Runtime.Alloc.free_bytes (H.allocator handle) in
+    {
+      se_cfg = cfg;
+      se_engine = engine;
+      se_handle = handle;
+      se_tracer = tracer;
+      se_inj = inj;
+      se_baseline_free = baseline_free;
+      se_kinds = kinds;
+      se_phases = 0;
+      se_cur = None;
+      se_last = None;
+    }
+
+  let engine s = s.se_engine
+  let handle s = s.se_handle
+  let now s = Desim.Engine.now s.se_engine
+  let injector s = s.se_inj
+  let phases s = s.se_phases
+
+  let start_phase ?tenants s ~duration_ps =
+    (match s.se_cur with
+    | Some _ ->
+        invalid_arg "Serve.Session.start_phase: a phase is already running"
+    | None -> ());
+    if duration_ps < 1 then
+      invalid_arg "Serve.Session.start_phase: duration must be >= 1";
+    let tenants =
+      match tenants with
+      | None -> s.se_cfg.c_tenants
+      | Some [] -> invalid_arg "Serve.Session.start_phase: no tenants"
+      | Some l ->
+          List.iter
+            (fun t ->
+              List.iter
+                (fun c ->
+                  if not (List.mem c.Mix.k_kind s.se_kinds) then
+                    invalid_arg
+                      "Serve.Session.start_phase: tenant mix uses a kind \
+                       with no deployed system (declare it in the session \
+                       config's tenants)")
+                t.Tenant.t_mix)
+            l;
+          l
+    in
+    let st =
+      {
+        st_cfg = s.se_cfg;
+        st_engine = s.se_engine;
+        st_handle = s.se_handle;
+        st_tracer = s.se_tracer;
+        st_tenants = Array.of_list (List.map mk_tstate tenants);
+        st_systems =
+          Array.of_list
+            (List.mapi
+               (fun i k ->
+                 {
+                   sy_kind = k;
+                   sy_name = Mix.kind_system k;
+                   sy_id = i;
+                   sy_out = Array.make s.se_cfg.c_n_cores 0;
+                   sy_disp = Array.make s.se_cfg.c_n_cores 0;
+                 })
+               s.se_kinds);
+        st_global_v = 0.;
+        st_armed = false;
+        st_batches = 0;
+        st_batched = 0;
+      }
+    in
+    let t0 = Desim.Engine.now s.se_engine in
+    s.se_cur <- Some (st, t0, duration_ps);
+    start_clients ~salt:s.se_phases ~t0 ~horizon:(t0 + duration_ps) st;
+    s.se_phases <- s.se_phases + 1
+
+  let advance s ~until =
+    Desim.Engine.run ~until ~max_events:s.se_cfg.c_max_events s.se_engine
+
+  let sleep s ~delta_ps =
+    if delta_ps < 0 then invalid_arg "Serve.Session.sleep: negative delta";
+    advance s ~until:(now s + delta_ps)
+
+  (* Mid-run, non-finalizing summary of the work completed so far in the
+     current phase (or the last finished phase when idle). Never
+     perturbs the campaign: no queue is popped, no event fires, no RNG
+     stream advances — double-snapshotting and then finishing the phase
+     yields the same final report as finishing it without snapshots. *)
+  let snapshot s =
+    match s.se_cur with
+    | Some (st, t0, duration_ps) ->
+        mk_report st ~inj:s.se_inj ~baseline_free:s.se_baseline_free
+          ~duration_ps ~t0
+    | None -> (
+        match s.se_last with
+        | Some r -> r
+        | None -> invalid_arg "Serve.Session.snapshot: no phase has run")
+
+  let finish_phase s =
+    match s.se_cur with
+    | None -> invalid_arg "Serve.Session.finish_phase: no phase running"
+    | Some (st, t0, duration_ps) ->
+        Desim.Engine.drain_or_fail ~max_events:s.se_cfg.c_max_events
+          s.se_engine;
+        let r =
+          mk_report st ~inj:s.se_inj ~baseline_free:s.se_baseline_free
+            ~duration_ps ~t0
+        in
+        s.se_cur <- None;
+        s.se_last <- Some r;
+        r
+
+  let run_phase ?tenants s ~duration_ps =
+    start_phase ?tenants s ~duration_ps;
+    finish_phase s
+end
+
+let run ?tracer ?plan ?fault_policy ?platform cfg () =
+  let s = Session.create ?tracer ?plan ?fault_policy ?platform cfg () in
+  Session.run_phase s ~duration_ps:cfg.c_duration_ps
 
 let violations r =
   let out = ref [] in
@@ -862,7 +1138,7 @@ let saturation ?(seed = 42) ?(bytes = 16 * 1024) ?(n_cores = 4) ?(clients = 8)
       let tenant =
         Tenant.make ~name:"load" ~clients ~queue_cap:128
           ~mix:[ Mix.memcpy ~bytes () ]
-          ~load:(Tenant.Open_loop { rate_rps = rate /. float_of_int clients })
+          ~load:(Tenant.open_loop ~rate_rps:(rate /. float_of_int clients) ())
           ()
       in
       let cfg =

@@ -6,7 +6,7 @@ let tenants ?(rate = 30_000.) () =
     Serve.Tenant.make ~name:"gold" ~weight:3.0 ~clients:4
       ~slo_ps:400_000_000 ~deadline_ps:900_000_000
       ~mix:[ Serve.Mix.memcpy ~bytes:(8 * 1024) () ]
-      ~load:(Serve.Tenant.Open_loop { rate_rps = rate /. 4. })
+      ~load:(Serve.Tenant.open_loop ~rate_rps:(rate /. 4.) ())
       ();
     Serve.Tenant.make ~name:"bronze" ~weight:1.0 ~clients:2
       ~slo_ps:500_000_000 ~deadline_ps:900_000_000

@@ -1,0 +1,250 @@
+(* Scenario DSL: executor determinism over random graphs, loop/budget
+   bounds, single-phase equivalence with the plain serving entry point,
+   constant-curve regression against historical reports, and snapshot
+   non-perturbation. *)
+
+module S = Serve
+module Sc = Scenario
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let qcheck ?(count = 30) name arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+(* ---- shared fixtures ---- *)
+
+let small_tenant ?(rate = 60_000.) ?curve () =
+  S.Tenant.make ~name:"t" ~weight:1.0 ~clients:2
+    ~mix:[ S.Mix.memcpy ~bytes:4096 () ]
+    ~load:(S.Tenant.open_loop ?curve ~rate_rps:rate ())
+    ()
+
+let small_cfg ?(seed = 42) ?(duration_ps = 40_000_000) ?tenants () =
+  let tenants =
+    match tenants with Some ts -> ts | None -> [ small_tenant () ]
+  in
+  S.config ~seed ~duration_ps ~n_cores:1 ~core_cap:2 ~tenants ()
+
+let single ?(seed = 42) cfg =
+  Sc.Single { sg_cfg = { cfg with S.c_seed = seed }; sg_plan = None; sg_policy = None }
+
+(* ---- random scenario graphs are deterministic ---- *)
+
+(* A small vocabulary of nodes, indexed so QCheck shrinks nicely. The
+   graphs mix traffic phases, sleeps, bindings, conditionals, bounded
+   loops, asserts (some deliberately failing: determinism must hold for
+   failing runs too) and an injector-less hang request (records a
+   failure verdict and continues). *)
+let node_of_tag tag =
+  match tag mod 8 with
+  | 0 -> Sc.serve_phase ~label:"p" ~duration_ps:25_000_000 ()
+  | 1 -> Sc.Act (Sc.Sleep 5_000_000)
+  | 2 -> Sc.Let ("x", Sc.Stat (Sc.P95, "t"))
+  | 3 ->
+      Sc.Assert
+        {
+          a_cond = Sc.Cmp (Sc.Ge, Sc.Counter Sc.Wall_us, Sc.Const 0.);
+          a_msg = "wall clock went negative";
+        }
+  | 4 ->
+      Sc.If
+        {
+          if_cond = Sc.Cmp (Sc.Gt, Sc.Var "x", Sc.Const 0.);
+          if_then = [ Sc.Act (Sc.Sleep 1_000_000) ];
+          if_else = [ Sc.Let ("y", Sc.Const 1.) ];
+        }
+  | 5 ->
+      Sc.While
+        {
+          w_cond = Sc.Cmp (Sc.Lt, Sc.Var "trips", Sc.Const 2.);
+          w_max_trips = 2;
+          w_body = [ Sc.Let ("trips", Sc.Const 2.) ];
+        }
+  | 6 -> Sc.inject_hang ~system:0 ~core:0 ()
+  | _ ->
+      Sc.Assert
+        {
+          a_cond = Sc.Cmp (Sc.Lt, Sc.Counter Sc.Wall_us, Sc.Const 0.);
+          a_msg = "deliberately failing assert";
+        }
+
+let prop_transcript_deterministic =
+  qcheck ~count:6 "random scenario graphs replay byte-identically"
+    QCheck.(pair (int_range 0 1000) (list_of_size (Gen.int_range 1 5) (int_range 0 100)))
+    (fun (seed, tags) ->
+      let nodes = List.map node_of_tag tags in
+      let sc =
+        Sc.make ~name:"rand" ~seed ~backend:(single ~seed (small_cfg ())) nodes
+      in
+      let a = Sc.transcript_json (Sc.run sc) in
+      let b = Sc.transcript_json (Sc.run sc) in
+      a = b)
+
+(* ---- loop bounds and the node budget ---- *)
+
+let spin_scenario ~max_nodes ~trips =
+  Sc.make ~max_nodes ~name:"spin" ~seed:1
+    ~backend:(single (small_cfg ()))
+    [
+      Sc.While
+        {
+          w_cond = Sc.Cmp (Sc.Ge, Sc.Const 1., Sc.Const 0.);
+          (* always true *)
+          w_max_trips = trips;
+          w_body = [ Sc.Let ("i", Sc.Const 1.) ];
+        };
+    ]
+
+let prop_budget_honored =
+  qcheck ~count:20 "execution never runs past the node budget"
+    QCheck.(pair (int_range 1 24) (int_range 1 1000))
+    (fun (max_nodes, trips) ->
+      let res = Sc.run (spin_scenario ~max_nodes ~trips) in
+      List.length res.Sc.res_entries <= max_nodes)
+
+let test_trip_bound () =
+  (* with a generous budget, an always-true loop runs exactly
+     w_max_trips trips: one entry per body node per trip, plus the
+     loop's own entry *)
+  let res = Sc.run (spin_scenario ~max_nodes:256 ~trips:7) in
+  check_bool "scenario ok" true res.Sc.res_ok;
+  check_int "7 body entries + the loop entry" 8
+    (List.length res.Sc.res_entries)
+
+let test_budget_exhaustion_is_a_failure () =
+  let res = Sc.run (spin_scenario ~max_nodes:4 ~trips:1000) in
+  check_bool "budget exhaustion fails the run" false res.Sc.res_ok;
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "a failure names the budget" true
+    (List.exists (fun m -> contains m "budget") res.Sc.res_failures)
+
+(* ---- single-phase scenario == plain Serve.run ---- *)
+
+let prop_single_phase_matches_plain_run =
+  qcheck ~count:4 "one constant-rate serve node observes the plain run"
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let cfg = small_cfg ~seed () in
+      let sc =
+        Sc.make ~name:"one-phase" ~seed ~backend:(single ~seed cfg)
+          [ Sc.serve_phase ~label:"only" ~duration_ps:cfg.S.c_duration_ps () ]
+      in
+      let res = Sc.run sc in
+      let plain = S.run cfg () in
+      res.Sc.res_ok
+      && res.Sc.res_obs = Sc.obs_of_serve plain
+      && S.digest plain = S.digest (S.run cfg ()))
+
+(* ---- constant-curve regression ---- *)
+
+(* an Open_loop tenant carrying [Curve.const r] must reproduce the
+   historical no-curve report byte-for-byte: the thinning sampler
+   degenerates to the exact single-rate draw sequence. *)
+let prop_constant_curve_is_historical =
+  qcheck ~count:5 "constant rate curve replays the curveless report"
+    QCheck.(pair (int_range 0 1000) (int_range 20 200))
+    (fun (seed, krps) ->
+      let rate = float_of_int krps *. 1000. in
+      let flat = small_cfg ~seed ~tenants:[ small_tenant ~rate () ] () in
+      let curved =
+        small_cfg ~seed
+          ~tenants:[ small_tenant ~rate ~curve:(S.Curve.const rate) () ]
+          ()
+      in
+      S.digest (S.run flat ()) = S.digest (S.run curved ()))
+
+(* a genuinely varying curve must not silently degenerate: drive the
+   same tenant through a 10x ramp and expect a different arrival set *)
+let test_varying_curve_changes_arrivals () =
+  let rate = 60_000. in
+  let curve = S.Curve.make [ (0, rate); (40_000_000, 10. *. rate) ] in
+  let flat = small_cfg ~tenants:[ small_tenant ~rate () ] () in
+  let curved = small_cfg ~tenants:[ small_tenant ~rate ~curve () ] () in
+  check_bool "ramped curve diverges from flat" false
+    (S.digest (S.run flat ()) = S.digest (S.run curved ()))
+
+(* ---- snapshot non-perturbation ---- *)
+
+let test_snapshot_does_not_perturb () =
+  let cfg = small_cfg ~seed:7 () in
+  let straight = S.run cfg () in
+  let s = S.Session.create cfg () in
+  S.Session.start_phase s ~duration_ps:cfg.S.c_duration_ps;
+  S.Session.advance s ~until:(cfg.S.c_duration_ps / 3);
+  ignore (S.Session.snapshot s);
+  S.Session.advance s ~until:(2 * cfg.S.c_duration_ps / 3);
+  ignore (S.Session.snapshot s);
+  ignore (S.Session.snapshot s);
+  let probed = S.Session.finish_phase s in
+  check_string "mid-phase snapshots leave the report byte-identical"
+    (S.digest straight) (S.digest probed)
+
+(* ---- conditions over a real run ---- *)
+
+let test_conditions_see_the_phase () =
+  let cfg = small_cfg ~seed:3 () in
+  let sc =
+    Sc.make ~name:"cond" ~seed:3 ~backend:(single ~seed:3 cfg)
+      [
+        Sc.serve_phase ~label:"p" ~duration_ps:cfg.S.c_duration_ps ();
+        Sc.Let ("done", Sc.Stat (Sc.Completed, "t"));
+        Sc.Assert
+          {
+            a_cond = Sc.Cmp (Sc.Ge, Sc.Var "done", Sc.Const 1.);
+            a_msg = "no request completed";
+          };
+        Sc.Assert
+          {
+            a_cond =
+              Sc.Cmp (Sc.Eq, Sc.Stat (Sc.Completed, "*"), Sc.Var "done");
+            a_msg = "aggregate disagrees with the only tenant";
+          };
+      ]
+  in
+  let res = Sc.run sc in
+  check_bool "assertions hold" true res.Sc.res_ok;
+  check_bool "wall clock advanced" true (res.Sc.res_obs.Sc.ob_wall_us > 0.)
+
+(* ---- chaos actions are rejected off-fleet ---- *)
+
+let test_chaos_requires_fleet () =
+  let cfg = small_cfg () in
+  let sc =
+    Sc.make ~name:"chaos-single" ~seed:1 ~backend:(single cfg)
+      [ Sc.Act (Sc.Kill 0); Sc.Act Sc.Promote ]
+  in
+  let res = Sc.run sc in
+  check_bool "single-device chaos fails the run" false res.Sc.res_ok;
+  check_int "both actions record failures" 2 (List.length res.Sc.res_failures)
+
+let () =
+  Alcotest.run "scenario"
+    [
+      ( "executor",
+        [
+          prop_transcript_deterministic;
+          prop_budget_honored;
+          Alcotest.test_case "loop trip bound" `Quick test_trip_bound;
+          Alcotest.test_case "budget exhaustion fails" `Quick
+            test_budget_exhaustion_is_a_failure;
+          Alcotest.test_case "conditions see the phase" `Quick
+            test_conditions_see_the_phase;
+          Alcotest.test_case "chaos requires a fleet" `Quick
+            test_chaos_requires_fleet;
+        ] );
+      ( "serve-integration",
+        [
+          prop_single_phase_matches_plain_run;
+          prop_constant_curve_is_historical;
+          Alcotest.test_case "varying curve diverges" `Quick
+            test_varying_curve_changes_arrivals;
+          Alcotest.test_case "snapshot non-perturbation" `Quick
+            test_snapshot_does_not_perturb;
+        ] );
+    ]

@@ -104,7 +104,7 @@ let prop_conservation =
     (fun (seed, wfq) ->
       let open_t =
         S.Tenant.make ~name:"open" ~clients:3 ~queue_cap:8
-          ~load:(S.Tenant.Open_loop { rate_rps = 600_000. })
+          ~load:(S.Tenant.open_loop ~rate_rps:600_000. ())
           ()
       in
       let closed_t =
@@ -130,7 +130,7 @@ let test_deadline_shedding () =
     S.Tenant.make ~name:"hot" ~clients:4 ~queue_cap:512
       ~deadline_ps:25_000_000
       ~mix:[ S.Mix.memcpy ~bytes:(16 * 1024) () ]
-      ~load:(S.Tenant.Open_loop { rate_rps = 1_000_000. })
+      ~load:(S.Tenant.open_loop ~rate_rps:1_000_000. ())
       ()
   in
   let cfg =
@@ -153,7 +153,7 @@ let prop_determinism =
           ~tenants:
             [
               S.Tenant.make ~name:"a" ~clients:2
-                ~load:(S.Tenant.Open_loop { rate_rps = 150_000. })
+                ~load:(S.Tenant.open_loop ~rate_rps:150_000. ())
                 ();
               S.Tenant.make ~name:"b" ~clients:2
                 ~load:(S.Tenant.Closed_loop { think_ps = 10_000_000 })
@@ -169,7 +169,7 @@ let test_seed_changes_digest () =
       ~tenants:
         [
           S.Tenant.make ~name:"a" ~clients:2
-            ~load:(S.Tenant.Open_loop { rate_rps = 150_000. })
+            ~load:(S.Tenant.open_loop ~rate_rps:150_000. ())
             ();
         ]
       ()
@@ -295,7 +295,7 @@ let prop_alloc_churn =
             [
               (* mixed sizes force real free-list churn *)
               S.Tenant.make ~name:"churn" ~clients:4 ~queue_cap:16
-                ~load:(S.Tenant.Open_loop { rate_rps = 400_000. })
+                ~load:(S.Tenant.open_loop ~rate_rps:400_000. ())
                 ();
             ]
           ()
@@ -312,7 +312,7 @@ let test_serve_traces_queue_wait () =
       ~tenants:
         [
           S.Tenant.make ~name:"tr" ~clients:2
-            ~load:(S.Tenant.Open_loop { rate_rps = 200_000. })
+            ~load:(S.Tenant.open_loop ~rate_rps:200_000. ())
             ();
         ]
       ()
