@@ -705,6 +705,54 @@ let sim_speed () =
   | _ -> ()
 
 (* ------------------------------------------------------------------ *)
+(* tune: the closed-loop autotuner. The Pareto front and the           *)
+(* elaboration-cache hit/miss counts are archived to BENCH_tune.json;  *)
+(* the run fails unless the final incumbent dominates the conservative *)
+(* seed knobs on throughput or p99 without regressing the other (1%    *)
+(* tolerance) — the acceptance bar for the search.                     *)
+(* ------------------------------------------------------------------ *)
+
+let tune () =
+  header "tune"
+    "Closed-loop autotuning: a measured one-knob search over the serving\n\
+     SoC (memory channels, prefetch depth, cores, batching, per-core cap)\n\
+     through the content-hashed elaboration cache, A/B-promoting only on\n\
+     paired wins under byte-identical offered load.";
+  let r = Tune.run ~seed:42 ~budget:6 () in
+  print_string (Tune.render r);
+  let oc = open_out "BENCH_tune.json" in
+  output_string oc (Tune.pareto_json r);
+  close_out oc;
+  Printf.printf "  archived to BENCH_tune.json\n";
+  (match r.Tune.r_violations with
+  | [] -> ()
+  | v :: _ -> failwith ("tune: accounting violation: " ^ v));
+  let score c =
+    match c.Tune.ca_outcome with
+    | Tune.Evaluated { ev_score; _ } -> ev_score
+    | Tune.Infeasible m -> failwith ("tune: unscored candidate: " ^ m)
+  in
+  let s0 =
+    score (List.find (fun c -> c.Tune.ca_id = 0) r.Tune.r_candidates)
+  in
+  let sb = score r.Tune.r_best in
+  let better_rps = sb.Tune.sc_rps > s0.Tune.sc_rps *. 1.01 in
+  let better_p99 = sb.Tune.sc_p99_us < s0.Tune.sc_p99_us *. 0.99 in
+  let no_worse_rps = sb.Tune.sc_rps >= s0.Tune.sc_rps *. 0.99 in
+  let no_worse_p99 = sb.Tune.sc_p99_us <= s0.Tune.sc_p99_us *. 1.01 in
+  Printf.printf
+    "  tuned vs seed: rps %.1f -> %.1f (%+.1f%%), p99 %.3f -> %.3f us \
+     (%+.1f%%)\n"
+    s0.Tune.sc_rps sb.Tune.sc_rps
+    (100. *. ((sb.Tune.sc_rps /. s0.Tune.sc_rps) -. 1.))
+    s0.Tune.sc_p99_us sb.Tune.sc_p99_us
+    (100. *. ((sb.Tune.sc_p99_us /. s0.Tune.sc_p99_us) -. 1.));
+  if not ((better_rps && no_worse_p99) || (better_p99 && no_worse_rps)) then
+    failwith
+      "tune: the tuned configuration does not dominate the seed knobs \
+       (need a >1% win on throughput or p99 without regressing the other)"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel timing of the experiment kernels                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -780,6 +828,7 @@ let experiments =
     ("trace", ablation_trace);
     ("serve", ablation_serve);
     ("sim-speed", sim_speed);
+    ("tune", tune);
   ]
 
 let () =

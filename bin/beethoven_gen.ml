@@ -1054,6 +1054,110 @@ let scenario_cmd =
       const scenario_run $ scenario_name_arg $ seed_arg $ scenario_list_arg
       $ scenario_format_arg)
 
+(* ---- tune subcommand: closed-loop autotuner over composer knobs ---- *)
+
+let tune_run seed budget knobs phase_us ab_rounds require_promotion format =
+  let axes =
+    if knobs = "all" then Tune.all_axes
+    else
+      List.map
+        (fun n ->
+          match Tune.axis_of_name (String.trim n) with
+          | Some a -> a
+          | None ->
+              Printf.eprintf
+                "unknown knob %S (try %s)\n" n
+                (String.concat ", " (List.map Tune.axis_name Tune.all_axes));
+              exit 2)
+        (String.split_on_char ',' knobs)
+  in
+  (match format with
+  | "text" | "json" -> ()
+  | f ->
+      Printf.eprintf "unknown format %S (text or json)\n" f;
+      exit 2);
+  if budget < 0 || ab_rounds < 1 || phase_us < 1 then begin
+    Printf.eprintf "tune: budget must be >= 0, rounds >= 1, phase >= 1 us\n";
+    exit 2
+  end;
+  let phase_ps = phase_us * 1_000_000 in
+  (* determinism gate: the same arguments must reproduce the same Pareto
+     front, byte for byte *)
+  let r1 = Tune.run ~seed ~budget ~axes ~phase_ps ~ab_rounds () in
+  let r2 = Tune.run ~seed ~budget ~axes ~phase_ps ~ab_rounds () in
+  let j1 = Tune.pareto_json r1 and j2 = Tune.pareto_json r2 in
+  print_string (if format = "json" then j1 else Tune.render r1);
+  let deterministic = String.equal j1 j2 in
+  if not deterministic then
+    Printf.eprintf "tune: NON-DETERMINISTIC: double-run Pareto JSON differs\n";
+  List.iter
+    (fun v -> Printf.eprintf "tune: violation: %s\n" v)
+    r1.Tune.r_violations;
+  let unpromoted = require_promotion && r1.Tune.r_promotions = 0 in
+  if unpromoted then
+    Printf.eprintf
+      "tune: no candidate was promoted over the seed configuration\n";
+  if (not deterministic) || r1.Tune.r_violations <> [] || unpromoted then
+    exit 1
+
+let tune_budget_arg =
+  let doc = "Number of one-knob proposals the search evaluates." in
+  Arg.(value & opt int 6 & info [ "budget" ] ~docv:"N" ~doc)
+
+let tune_knobs_arg =
+  let doc =
+    "Comma-separated knob axes to search ($(b,cores), $(b,channels), \
+     $(b,prefetch), $(b,batch), $(b,core-cap)), or $(b,all)."
+  in
+  Arg.(value & opt string "all" & info [ "knobs" ] ~docv:"LIST" ~doc)
+
+let tune_phase_arg =
+  let doc = "Simulated serving time per A/B phase, in microseconds." in
+  Arg.(value & opt int 100 & info [ "phase-us" ] ~docv:"N" ~doc)
+
+let tune_rounds_arg =
+  let doc = "Paired A/B phases per incumbent/challenger comparison." in
+  Arg.(value & opt int 2 & info [ "rounds" ] ~docv:"N" ~doc)
+
+let tune_promote_arg =
+  let doc =
+    "Exit 1 unless at least one challenger was promoted over the seed \
+     configuration (CI smoke check that the search finds the headroom \
+     the conservative baseline leaves)."
+  in
+  Arg.(value & flag & info [ "require-promotion" ] ~doc)
+
+let tune_cmd =
+  let doc = "closed-loop autotuning over the composer's knobs" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs the seeded $(b,Tune) search: one-knob proposals over the \
+         serving SoC's memory channels, prefetch depth, core count, \
+         batching cap and per-core bound. Each candidate is pre-filtered \
+         by the full composer DRC through a content-hashed elaboration \
+         cache ($(b,Beethoven.Elaborate.Cache)) — a one-knob delta only \
+         re-elaborates the systems it actually changed — then measured \
+         live against the incumbent over interleaved paired serving \
+         phases under byte-identical offered load; promotion requires a \
+         statistically-ordered win (more paired phases won than lost, \
+         p99 not regressed beyond 10%). Prints the candidate table or, \
+         with $(b,--format json), the byte-deterministic Pareto front \
+         (throughput vs p99 vs peak SLR utilization) plus cache hit/miss \
+         counts. The search runs twice in-process; the run exits 1 if \
+         the two Pareto JSON documents differ byte-for-byte or any \
+         serving accounting violation is recorded.";
+    ]
+    @ exit_status_man
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc ~man)
+    Term.(
+      const tune_run $ seed_arg $ tune_budget_arg $ tune_knobs_arg
+      $ tune_phase_arg $ tune_rounds_arg $ tune_promote_arg
+      $ scenario_format_arg)
+
 let gen_term =
   Term.(const run $ design_arg $ platform_arg $ cores_arg $ emit_arg $ out_arg)
 
@@ -1100,6 +1204,7 @@ let cmd =
       serve_cmd;
       cluster_cmd;
       scenario_cmd;
+      tune_cmd;
     ]
 
 let () = exit (Cmd.eval cmd)

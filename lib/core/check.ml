@@ -339,15 +339,55 @@ let floorplan_feasibility (config : Config.t) (p : D.t) =
    unpipelined long chain (hundreds of chained adds) blows through it. *)
 let default_sta_budget = 256
 
-let sta (config : Config.t) =
-  List.filter_map
+(* The placement-independent per-system analysis: the lint pass, the
+   STA report and the circuit stats of one kernel circuit. This is the
+   unit {!Elaborate.Cache} memoizes, so it must depend on nothing but
+   the system record itself. *)
+type kernel_analysis = {
+  ka_lint : Diag.t list;
+  ka_sta : Hw.Sta.report option;
+  ka_stats : (string * int) list option;
+}
+
+let analyze_kernel (sys : Config.system) =
+  match sys.Config.kernel_circuit with
+  | None -> { ka_lint = []; ka_sta = None; ka_stats = None }
+  | Some c ->
+      let lint =
+        List.map
+          (fun (d : Diag.t) ->
+            let loc =
+              match d.Diag.loc with
+              | Some l -> sys.Config.sys_name ^ ": " ^ l
+              | None ->
+                  sys.Config.sys_name ^ ": circuit " ^ Hw.Circuit.name c
+            in
+            { d with Diag.loc = Some loc })
+          (Hw.Lint.circuit ~lutram_max_bits:FM.lutram_max_bits c)
+      in
+      {
+        ka_lint = lint;
+        ka_sta = Some (Hw.Sta.of_circuit c);
+        ka_stats = Some (Hw.Circuit.stats c);
+      }
+
+let analyses_of ?analyses (config : Config.t) =
+  List.map
     (fun (sys : Config.system) ->
-      Option.map
-        (fun c -> (sys.Config.sys_name, Hw.Sta.of_circuit c))
-        sys.Config.kernel_circuit)
+      let name = sys.Config.sys_name in
+      match Option.bind analyses (List.assoc_opt name) with
+      | Some a -> (name, a)
+      | None -> (name, analyze_kernel sys))
     config.Config.systems
 
-let sta_paths ?(budget = default_sta_budget) (config : Config.t) (p : D.t) =
+let sta ?analyses (config : Config.t) =
+  let analyses = analyses_of ?analyses config in
+  List.filter_map
+    (fun (name, a) -> Option.map (fun r -> (name, r)) a.ka_sta)
+    analyses
+
+let sta_paths ?(budget = default_sta_budget) ~analyses (config : Config.t)
+    (p : D.t) =
   (* placement infeasibility is drc-floorplan's report, not ours *)
   match Floorplan.place config p with
   | exception (Failure _ | Invalid_argument _) -> []
@@ -355,10 +395,13 @@ let sta_paths ?(budget = default_sta_budget) (config : Config.t) (p : D.t) =
       let tax = p.D.noc.Noc.Params.slr_crossing_latency_cycles in
       List.concat_map
         (fun (sys : Config.system) ->
-          match sys.Config.kernel_circuit with
+          match
+            Option.bind
+              (List.assoc_opt sys.Config.sys_name analyses)
+              (fun a -> a.ka_sta)
+          with
           | None -> []
-          | Some c ->
-              let r = Hw.Sta.of_circuit c in
+          | Some r ->
               (* the frontend (command/memory roots) lives with the shell
                  on SLR 0; a core placed n dies away pays the crossing
                  penalty on every path to it *)
@@ -381,7 +424,7 @@ let sta_paths ?(budget = default_sta_budget) (config : Config.t) (p : D.t) =
                   Printf.sprintf
                     "worst path of kernel %S is %d (delay %d + %d SLR \
                      crossing(s) x %d), over the budget of %d"
-                    (Hw.Circuit.name c) taxed r.Hw.Sta.r_max_delay crossings
+                    r.Hw.Sta.r_circuit taxed r.Hw.Sta.r_max_delay crossings
                     tax budget
                 in
                 let hint =
@@ -393,26 +436,9 @@ let sta_paths ?(budget = default_sta_budget) (config : Config.t) (p : D.t) =
                 else [ warn ~loc ~hint "drc-sta-slr-path" msg ])
         config.Config.systems
 
-let kernel_lints (config : Config.t) (_p : D.t) =
-  let lutram_max_bits = FM.lutram_max_bits in
-  List.concat_map
-    (fun sys ->
-      match sys.Config.kernel_circuit with
-      | None -> []
-      | Some c ->
-          List.map
-            (fun (d : Diag.t) ->
-              let loc =
-                match d.Diag.loc with
-                | Some l -> sys.Config.sys_name ^ ": " ^ l
-                | None ->
-                    sys.Config.sys_name ^ ": circuit " ^ Hw.Circuit.name c
-              in
-              { d with Diag.loc = Some loc })
-            (Hw.Lint.circuit ~lutram_max_bits c))
-    config.Config.systems
-
-let run ?(lint_kernels = true) ?sta_budget (config : Config.t) (p : D.t) =
+let run ?(lint_kernels = true) ?sta_budget ?analyses (config : Config.t)
+    (p : D.t) =
+  let analyses = analyses_of ?analyses config in
   let structural = structure config in
   let mapping =
     (* capacity / placement checks assume a structurally sound config *)
@@ -421,7 +447,10 @@ let run ?(lint_kernels = true) ?sta_budget (config : Config.t) (p : D.t) =
       axi_capacity config p
       @ scratchpad_capacity config p
       @ floorplan_feasibility config p
-      @ sta_paths ?budget:sta_budget config p
+      @ sta_paths ?budget:sta_budget ~analyses config p
   in
-  let lint = if lint_kernels then kernel_lints config p else [] in
+  let lint =
+    if lint_kernels then List.concat_map (fun (_, a) -> a.ka_lint) analyses
+    else []
+  in
   structural @ mapping @ lint

@@ -51,17 +51,55 @@ val default_sta_budget : int
 (** Default worst-path budget (in {!Hw.Sta} delay units) for
     [drc-sta-slr-path]. *)
 
-val sta : Config.t -> (string * Hw.Sta.report) list
+(** {1 Per-system kernel analysis}
+
+    The expensive, placement-independent slice of the DRC: the netlist
+    lint, the {!Hw.Sta} report and the circuit statistics of one system's
+    kernel circuit. It depends only on the system record itself, which is
+    what makes it the unit of reuse for {!Elaborate.Cache} — a config
+    delta that leaves a system untouched can replay its analysis instead
+    of re-linting and re-timing the kernel. *)
+
+type kernel_analysis = {
+  ka_lint : Hw.Diag.t list;
+      (** {!Hw.Lint.circuit} diagnostics, locations prefixed with the
+          system name (empty for transaction-level kernels) *)
+  ka_sta : Hw.Sta.report option;
+      (** static timing of the kernel circuit, [None] without one *)
+  ka_stats : (string * int) list option;
+      (** {!Hw.Circuit.stats} of the kernel circuit *)
+}
+
+val analyze_kernel : Config.system -> kernel_analysis
+(** Lint + STA + stats of one system's kernel circuit. Pure function of
+    the system record. *)
+
+val analyses_of :
+  ?analyses:(string * kernel_analysis) list ->
+  Config.t ->
+  (string * kernel_analysis) list
+(** Per-system analyses in config order; entries found in [analyses]
+    (keyed by system name) are reused verbatim, the rest are computed
+    fresh with {!analyze_kernel}. *)
+
+val sta :
+  ?analyses:(string * kernel_analysis) list ->
+  Config.t ->
+  (string * Hw.Sta.report) list
 (** Per-system {!Hw.Sta} reports for every system carrying an RTL-DSL
     kernel circuit (the [beethoven_gen sta] backend). *)
 
 val run :
   ?lint_kernels:bool ->
   ?sta_budget:int ->
+  ?analyses:(string * kernel_analysis) list ->
   Config.t ->
   Platform.Device.t ->
   Hw.Diag.t list
 (** Run every design rule. [lint_kernels] (default [true]) controls the
     per-system netlist lint pass; [sta_budget] overrides
-    {!default_sta_budget}. The result is unfiltered: apply
+    {!default_sta_budget}; [analyses] supplies precomputed (typically
+    cached) per-system kernel analyses — the result is identical to a
+    fresh run as long as each entry matches {!analyze_kernel} of the
+    same-named system. The result is unfiltered: apply
     {!Hw.Diag.waive} / {!Hw.Diag.promote_warnings} for policy. *)

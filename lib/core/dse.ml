@@ -5,24 +5,44 @@ type point = {
   pt_metric : float option;
 }
 
-let sweep_cores ~config_of ?(max_cores = 48) ?metric platform =
+let peak_utilization (fp : Floorplan.t) platform =
+  Array.to_list fp.Floorplan.used_per_slr
+  |> List.mapi (fun slr used ->
+         let cap =
+           (Platform.Device.slr_exn platform slr).Platform.Device.capacity
+         in
+         Platform.Resources.max_utilization used ~cap)
+  |> List.fold_left Float.max 0.
+
+let fit ?cache config platform =
+  let elab () =
+    match cache with
+    | Some c -> Elaborate.Cache.elaborate c config platform
+    | None -> Elaborate.elaborate config platform
+  in
+  match elab () with
+  | e -> Ok (peak_utilization e.Elaborate.floorplan platform)
+  | exception (Failure m | Invalid_argument m) -> Error m
+
+let sweep_cores ~config_of ?(max_cores = 48) ?metric ?cache platform =
   List.init max_cores (fun i ->
       let n = i + 1 in
-      match Floorplan.place (config_of ~n_cores:n) platform with
-      | exception Failure _ ->
+      let config = config_of ~n_cores:n in
+      let fits =
+        match cache with
+        | Some _ -> fit ?cache config platform
+        | None -> (
+            (* the historical floorplan-only oracle: cheap, and accepts
+               configs the full DRC would warn (not error) about *)
+            match Floorplan.place config platform with
+            | fp -> Ok (peak_utilization fp platform)
+            | exception Failure m -> Error m)
+      in
+      match fits with
+      | Error _ ->
           { pt_cores = n; pt_fits = false; pt_peak_utilization = 1.0;
             pt_metric = None }
-      | fp ->
-          let peak =
-            Array.to_list fp.Floorplan.used_per_slr
-            |> List.mapi (fun slr used ->
-                   let cap =
-                     (Platform.Device.slr_exn platform slr)
-                       .Platform.Device.capacity
-                   in
-                   Platform.Resources.max_utilization used ~cap)
-            |> List.fold_left Float.max 0.
-          in
+      | Ok peak ->
           {
             pt_cores = n;
             pt_fits = true;

@@ -5,7 +5,14 @@
     is the fit oracle, so a sweep over core counts (or any discrete knob)
     can reject infeasible points before any tool run. This module provides
     that: enumerate candidates, check fit, score with a user metric, and
-    report the frontier. *)
+    report the frontier.
+
+    This is also the {e offline pre-filter} of the closed-loop tuner
+    ([Tune]): before spending a live serving phase on a candidate, the
+    tuner calls {!fit} through a shared {!Elaborate.Cache} — an
+    infeasible knob combination is rejected by the elaboration-time DRC
+    (floorplan, scratchpad capacity, timing budget) at cache-hit cost for
+    every system the candidate left untouched. *)
 
 type point = {
   pt_cores : int;
@@ -14,14 +21,29 @@ type point = {
   pt_metric : float option;  (** user score (higher is better) *)
 }
 
+val fit :
+  ?cache:Elaborate.Cache.cache ->
+  Config.t ->
+  Platform.Device.t ->
+  (float, string) result
+(** Full-DRC fit check: elaborate the config (through [cache] when
+    given) and return [Ok peak_slr_utilization], or [Error reason] when
+    any design rule at error severity rejects it. This is the oracle the
+    tuner uses to pre-filter candidates. *)
+
 val sweep_cores :
   config_of:(n_cores:int -> Config.t) ->
   ?max_cores:int ->
   ?metric:(n_cores:int -> float) ->
+  ?cache:Elaborate.Cache.cache ->
   Platform.Device.t ->
   point list
 (** Evaluate 1..[max_cores] (default 48). [metric] is only invoked for
-    points that fit. *)
+    points that fit. Without [cache] the fit oracle is the historical
+    floorplan-only placement check; with [cache] each point runs the full
+    {!fit} through the elaboration cache, so repeated sweeps (and the
+    tuner's follow-on evaluations of the same systems) reuse the
+    per-system kernel analyses. *)
 
 val best : point list -> point option
 (** Highest metric among fitting points (falls back to the largest

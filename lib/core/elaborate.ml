@@ -14,6 +14,7 @@ type t = {
   grand_total : R.t;
   sram_plans : (string * Platform.Sram.plan) list;
   sta : (string * Hw.Sta.report) list;
+  kernel_stats : (string * (string * int) list) list;
 }
 
 (* Flattened (system, core) list in config order. *)
@@ -55,11 +56,15 @@ let cmd_ep_id config ~system ~core =
   in
   go 0 config.Config.systems
 
-let elaborate ?(checks = true) (config : Config.t)
+(* The elaboration body, parameterized over the per-system kernel
+   analyses so {!Cache.elaborate} can substitute memoized ones. With
+   matching analyses the result is identical to a fresh run — the
+   cache-equivalence property test/test_tune.ml pins. *)
+let elaborate_with ?(checks = true) ~analyses (config : Config.t)
     (platform : Platform.Device.t) =
   let diagnostics =
     if checks then begin
-      let diags = Check.run config platform in
+      let diags = Check.run ~analyses config platform in
       Hw.Diag.raise_if_errors ~what:"design-rule check" diags;
       diags
     end
@@ -151,8 +156,158 @@ let elaborate ?(checks = true) (config : Config.t)
     beethoven_total;
     grand_total;
     sram_plans;
-    sta = Check.sta config;
+    sta = Check.sta ~analyses config;
+    kernel_stats =
+      List.filter_map
+        (fun (name, a) ->
+          Option.map (fun s -> (name, s)) a.Check.ka_stats)
+        analyses;
   }
+
+let elaborate ?checks (config : Config.t) (platform : Platform.Device.t) =
+  elaborate_with ?checks ~analyses:(Check.analyses_of config) config platform
+
+(* ------------------------------------------------------------------ *)
+(* Content-hashed elaboration cache                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = struct
+  type cache = {
+    tbl : (string, Check.kernel_analysis) Hashtbl.t;
+    mutable c_hits : int;
+    mutable c_misses : int;
+    mutable c_last : (string * bool) list;  (* most recent lookup first *)
+  }
+
+  let create () =
+    { tbl = Hashtbl.create 64; c_hits = 0; c_misses = 0; c_last = [] }
+
+  (* FNV-1a 64-bit over the canonical serialization below. Int64.mul
+     wraps on overflow, which is exactly the FNV modulus. *)
+  let fnv1a64 s =
+    let h = ref 0xcbf29ce484222325L in
+    String.iter
+      (fun ch ->
+        h :=
+          Int64.mul
+            (Int64.logxor !h (Int64.of_int (Char.code ch)))
+            0x100000001b3L)
+      s;
+    !h
+
+  (* Kernel circuits are large shared DAGs; digest their emitted Verilog
+     once per physical circuit value (the bundled kernels are module-level
+     constants, so physical identity is the common case) and remember a
+     bounded window of them. *)
+  let circuit_digests : (Hw.Circuit.t * string) list ref = ref []
+  let circuit_digest_window = 32
+
+  let circuit_digest c =
+    match List.find_opt (fun (c', _) -> c' == c) !circuit_digests with
+    | Some (_, d) -> d
+    | None ->
+        let d = Printf.sprintf "%016Lx" (fnv1a64 (Hw.Verilog.of_circuit c)) in
+        let kept =
+          List.filteri
+            (fun i _ -> i < circuit_digest_window - 1)
+            !circuit_digests
+        in
+        circuit_digests := (c, d) :: kept;
+        d
+
+  (* Canonical serialization of the per-system Config slice: every field
+     that can influence the cached analysis (and, conservatively, every
+     knob of the record) lands in the key, so equal keys imply equal
+     analyses and any knob delta forces a re-analysis of that system
+     only. *)
+  let serialize_system (sys : Config.system) =
+    let b = Buffer.create 256 in
+    let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+    pf "sys:%s;cores:%d;" sys.Config.sys_name sys.Config.n_cores;
+    List.iter
+      (fun (rc : Config.read_channel) ->
+        pf "rd:%s,%d,%d,%d,%d,%b,%d;" rc.Config.rc_name rc.Config.rc_data_bytes
+          rc.Config.rc_n_channels rc.Config.rc_burst_beats
+          rc.Config.rc_max_in_flight rc.Config.rc_use_tlp
+          rc.Config.rc_buffer_beats)
+      sys.Config.read_channels;
+    List.iter
+      (fun (wc : Config.write_channel) ->
+        pf "wr:%s,%d,%d,%d,%d,%b,%d;" wc.Config.wc_name wc.Config.wc_data_bytes
+          wc.Config.wc_n_channels wc.Config.wc_burst_beats
+          wc.Config.wc_max_in_flight wc.Config.wc_use_tlp
+          wc.Config.wc_buffer_beats)
+      sys.Config.write_channels;
+    List.iter
+      (fun (sp : Config.scratchpad) ->
+        pf "sp:%s,%d,%d,%d,%d,%b;" sp.Config.sp_name sp.Config.sp_data_bits
+          sp.Config.sp_n_datas sp.Config.sp_n_ports sp.Config.sp_latency
+          sp.Config.sp_init_from_memory)
+      sys.Config.scratchpads;
+    List.iter
+      (fun (ic : Config.intra_core_port) ->
+        pf "ic:%s,%s,%s,%d;" ic.Config.ic_name ic.Config.ic_to_system
+          ic.Config.ic_to_scratchpad ic.Config.ic_n_channels)
+      sys.Config.intra_core_ports;
+    List.iter
+      (fun (c : Cmd_spec.command) ->
+        pf "cmd:%s,%d,%b,%d[" c.Cmd_spec.cmd_name c.Cmd_spec.cmd_funct
+          c.Cmd_spec.has_response c.Cmd_spec.resp_bits;
+        List.iter
+          (fun (f : Cmd_spec.field) ->
+            match f.Cmd_spec.f_kind with
+            | Cmd_spec.Uint w -> pf "%s:u%d," f.Cmd_spec.f_name w
+            | Cmd_spec.Address -> pf "%s:addr," f.Cmd_spec.f_name)
+          c.Cmd_spec.fields;
+        pf "];")
+      sys.Config.commands;
+    let r = sys.Config.kernel_resources in
+    pf "res:%d,%d,%d,%d,%d,%d;" r.Platform.Resources.clb
+      r.Platform.Resources.lut r.Platform.Resources.ff
+      r.Platform.Resources.bram r.Platform.Resources.uram
+      r.Platform.Resources.dsp;
+    (match sys.Config.kernel_circuit with
+    | None -> pf "circ:none"
+    | Some c -> pf "circ:%s" (circuit_digest c));
+    Buffer.contents b
+
+  let system_key (sys : Config.system) =
+    Printf.sprintf "%016Lx" (fnv1a64 (serialize_system sys))
+
+  let lookup t (sys : Config.system) (platform : Platform.Device.t) =
+    let key = system_key sys ^ "@" ^ platform.Platform.Device.name in
+    match Hashtbl.find_opt t.tbl key with
+    | Some a ->
+        t.c_hits <- t.c_hits + 1;
+        t.c_last <- (sys.Config.sys_name, true) :: t.c_last;
+        a
+    | None ->
+        let a = Check.analyze_kernel sys in
+        Hashtbl.replace t.tbl key a;
+        t.c_misses <- t.c_misses + 1;
+        t.c_last <- (sys.Config.sys_name, false) :: t.c_last;
+        a
+
+  let elaborate ?checks t (config : Config.t) (platform : Platform.Device.t)
+      =
+    t.c_last <- [];
+    let analyses =
+      List.map
+        (fun (sys : Config.system) ->
+          (sys.Config.sys_name, lookup t sys platform))
+        config.Config.systems
+    in
+    elaborate_with ?checks ~analyses config platform
+
+  let hits t = t.c_hits
+  let misses t = t.c_misses
+  let entries t = Hashtbl.length t.tbl
+  let last_lookups t = List.rev t.c_last
+
+  let stats_line t =
+    Printf.sprintf "elab-cache: %d hit(s), %d miss(es), %d entrie(s)"
+      t.c_hits t.c_misses (Hashtbl.length t.tbl)
+end
 
 let cmd_endpoint t ~system ~core = cmd_ep_id t.config ~system ~core
 

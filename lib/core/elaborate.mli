@@ -25,6 +25,8 @@ type t = {
   sta : (string * Hw.Sta.report) list;
       (** per-system static timing reports for RTL-DSL kernels
           ({!Check.sta}) *)
+  kernel_stats : (string * (string * int) list) list;
+      (** per-system {!Hw.Circuit.stats} of RTL-DSL kernels *)
 }
 
 val elaborate : ?checks:bool -> Config.t -> Platform.Device.t -> t
@@ -33,6 +35,50 @@ val elaborate : ?checks:bool -> Config.t -> Platform.Device.t -> t
     fires — a configuration that cannot map to the platform never reaches
     the downstream flow. Warnings and infos are retained in
     [diagnostics]. *)
+
+(** Content-hashed elaboration cache.
+
+    The expensive slice of elaboration is per-system and
+    placement-independent: linting the kernel netlist, timing it
+    ({!Hw.Sta}) and collecting its circuit statistics
+    ({!Check.analyze_kernel}). The cache keys that slice by a content
+    hash of the per-system [Config] record — every channel/scratchpad/
+    command/core-count knob plus a digest of the kernel circuit's
+    emitted Verilog — so a one-knob config delta re-analyzes only the
+    system it touched while every untouched system is a hit. Global
+    artifacts (floorplan, NoCs, resource totals) are always rebuilt:
+    they depend on the whole config and are cheap.
+
+    {!elaborate} through a cache is byte-equivalent to a fresh
+    {!Elaborate.elaborate}: identical diagnostics, STA reports and
+    circuit stats (the qcheck property in [test/test_tune.ml]). The
+    tuner ({!Tune}) and the DSE pre-filter ({!Dse}) share one cache so a
+    search over knob deltas pays for each distinct system once. *)
+module Cache : sig
+  type cache
+
+  val create : unit -> cache
+
+  val system_key : Config.system -> string
+  (** Content hash (16 hex digits) of the per-system config slice. Equal
+      keys imply equal {!Check.analyze_kernel} results. *)
+
+  val elaborate : ?checks:bool -> cache -> Config.t -> Platform.Device.t -> t
+  (** Like {!Elaborate.elaborate}, but per-system kernel analyses are
+      looked up by {!system_key} (plus the platform name) and memoized.
+      Raises exactly when the fresh elaboration would. *)
+
+  val hits : cache -> int
+  val misses : cache -> int
+  val entries : cache -> int
+
+  val last_lookups : cache -> (string * bool) list
+  (** Per-system (name, was-hit) of the most recent {!elaborate} call, in
+      config order — the evidence the cache hit-rate regression test
+      checks. *)
+
+  val stats_line : cache -> string
+end
 
 val cmd_endpoint : t -> system:string -> core:int -> int
 val mem_endpoint : t -> system:string -> core:int -> channel:string -> int

@@ -858,14 +858,20 @@ module Session = struct
   }
 
   let create ?tracer ?plan ?fault_policy
-      ?(platform = Platform.Device.aws_f1) cfg () =
+      ?(platform = Platform.Device.aws_f1) ?systems ?cache cfg () =
     let kinds = kinds_used cfg.c_tenants in
+    let system_of =
+      match systems with None -> system_of_kind | Some f -> f
+    in
     let systems =
-      List.map (fun k -> system_of_kind k ~n_cores:cfg.c_n_cores) kinds
+      List.map (fun k -> system_of k ~n_cores:cfg.c_n_cores) kinds
     in
     let inj = Option.map Fault.Injector.create plan in
+    let config = B.Config.make ~name:"serve" systems in
     let design =
-      B.Elaborate.elaborate (B.Config.make ~name:"serve" systems) platform
+      match cache with
+      | Some c -> B.Elaborate.Cache.elaborate c config platform
+      | None -> B.Elaborate.elaborate config platform
     in
     let soc =
       Soc.create ?tracer ?fault:inj ?policy:fault_policy design

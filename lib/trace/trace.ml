@@ -204,6 +204,51 @@ let series_quantiles t name =
       | Some a, Some b, Some c -> Some (a, b, c)
       | _ -> None)
 
+(* Structured accessors: consumers (the tuner, the profile sink, tests)
+   read counter values and series quantiles from the registry itself
+   instead of re-parsing an emitted sink. *)
+
+module Counters = struct
+  let snapshot t =
+    List.rev_map (fun name -> (name, counter_value t name)) t.counter_order
+end
+
+module Series = struct
+  type summary = {
+    su_n : int;
+    su_mean : float;
+    su_p50 : float;
+    su_p95 : float;
+    su_p99 : float;
+    su_max : float;
+  }
+
+  let names t = List.rev t.series_order
+
+  let summary t name =
+    match Hashtbl.find_opt t.series name with
+    | None -> None
+    | Some s -> (
+        match S.summarize_opt s with
+        | None -> None
+        | Some sum ->
+            let q x = Option.value ~default:0. (S.quantile_opt s ~q:x) in
+            Some
+              {
+                su_n = sum.S.n;
+                su_mean = sum.S.mean;
+                su_p50 = q 0.50;
+                su_p95 = q 0.95;
+                su_p99 = q 0.99;
+                su_max = sum.S.max;
+              })
+
+  let snapshot t =
+    List.filter_map
+      (fun name -> Option.map (fun s -> (name, s)) (summary t name))
+      (names t)
+end
+
 let span_count t = t.n_spans
 let txn_count t = t.next_txn
 
@@ -398,29 +443,26 @@ let profile t =
           (if wall = 0 then 0. else 100. *. float_of_int total /. float_of_int wall))
       (List.rev !cat_order)
   end;
-  let counters = List.rev t.counter_order in
+  (* consume the registry through the structured accessors — the same
+     path external consumers (the tuner) use *)
+  let counters = Counters.snapshot t in
   if counters <> [] then begin
     pf "\ncounters:\n";
-    List.iter
-      (fun name -> pf "  %-28s %12d\n" name (counter_value t name))
-      counters
+    List.iter (fun (name, v) -> pf "  %-28s %12d\n" name v) counters
   end;
-  let series = List.rev t.series_order in
+  let series = Series.names t in
   if series <> [] then begin
     pf "\nseries (quantiles over all samples):\n";
     pf "  %-28s %7s %10s %10s %10s %10s %10s\n" "name" "n" "mean" "p50" "p95"
       "p99" "max";
     List.iter
       (fun name ->
-        let s = Hashtbl.find t.series name in
-        match S.summarize_opt s with
+        match Series.summary t name with
         | None -> pf "  %-28s %7d %10s\n" name 0 "-"
         | Some sum ->
-            let q x =
-              Option.value ~default:0. (S.quantile_opt s ~q:x)
-            in
-            pf "  %-28s %7d %10.1f %10.1f %10.1f %10.1f %10.1f\n" name sum.S.n
-              sum.S.mean (q 0.50) (q 0.95) (q 0.99) sum.S.max)
+            pf "  %-28s %7d %10.1f %10.1f %10.1f %10.1f %10.1f\n" name
+              sum.Series.su_n sum.Series.su_mean sum.Series.su_p50
+              sum.Series.su_p95 sum.Series.su_p99 sum.Series.su_max)
       series
   end;
   let hists = List.rev t.hist_order in

@@ -122,6 +122,41 @@ val series_quantile : t -> string -> q:float -> float option
 (** Arbitrary quantile of a named series (e.g. the p99.9 a serving SLO
     report needs); [None] if absent or empty. *)
 
+(** {1 Structured snapshots}
+
+    Whole-registry accessors, so consumers (the closed-loop tuner, the
+    profile sink, tests) read counter values and queue-depth quantiles
+    directly instead of re-parsing an emitted JSON/text sink. *)
+
+module Counters : sig
+  val snapshot : t -> (string * int) list
+  (** Every counter with its current value, in first-registration
+      order. *)
+end
+
+module Series : sig
+  type summary = {
+    su_n : int;
+    su_mean : float;
+    su_p50 : float;
+    su_p95 : float;
+    su_p99 : float;
+    su_max : float;
+  }
+
+  val names : t -> string list
+  (** Registered series names in first-registration order (including
+      empty ones). *)
+
+  val summary : t -> string -> summary option
+  (** Sample count, mean and p50/p95/p99/max of a named series; [None]
+      if absent or empty. *)
+
+  val snapshot : t -> (string * summary) list
+  (** Every non-empty series with its summary, in first-registration
+      order. *)
+end
+
 (** {1 Well-formedness} *)
 
 val check : ?strict:bool -> t -> string list

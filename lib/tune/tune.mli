@@ -1,0 +1,134 @@
+(** Closed-loop autotuner over the composer's knobs.
+
+    The COSMOS observation (PAPERS.md) is that synthesis-side knobs and
+    memory-system knobs must be searched {e together}: the best memory
+    channel count depends on the core count that competes for the same
+    SLRs, and both trade against latency under live load. This module
+    closes that loop: a seeded, deterministic search proposes one-knob
+    deltas over the deployed serving SoC — memory channels per port,
+    prefetch (in-flight) depth, cores per system, server batching cap,
+    per-core outstanding bound — and measures each candidate instead of
+    modeling it:
+
+    + {b pre-filter} — the candidate config is elaborated through a
+      shared {!Beethoven.Elaborate.Cache} via {!Beethoven.Dse.fit}; the
+      full DRC (floorplan, capacity, timing) rejects infeasible knob
+      combinations at cache-hit cost before any serving phase is spent,
+      and the fit's peak per-SLR utilization becomes the candidate's
+      resource axis;
+    + {b live evaluation} — a fresh {!Serve.Session} deploys the
+      candidate's systems (same elaboration cache) and serves the fixed
+      closed-loop tuning workload for [ab_rounds] phases; phase [i] of
+      every candidate uses client-stream salt [i], so all candidates are
+      measured under byte-identical offered load;
+    + {b A/B promotion} — incumbent and challenger run interleaved
+      paired phases; the challenger is promoted only on a
+      statistically-ordered win: it must win strictly more paired phases
+      than it loses (completions first, p99 as the tiebreak) without
+      regressing mean p99 by more than 10%. Deterministic evaluations
+      are replayed from a memo rather than re-simulated — the serving
+      analogue of the elaboration cache.
+
+    The search emits a byte-deterministic Pareto front (throughput vs.
+    p99 vs. resource utilization) as JSON: same seed ⇒ byte-identical
+    output across processes, which is what the [@tune] gate compares. *)
+
+module Knobs : sig
+  type t = {
+    kn_cores : int;  (** cores per deployed system *)
+    kn_channels : int;  (** memory channels per Reader/Writer port *)
+    kn_in_flight : int;  (** prefetch depth (concurrent transactions) *)
+    kn_batch : int;  (** commands coalesced per server occupancy *)
+    kn_core_cap : int;  (** per-core outstanding-command bound *)
+  }
+
+  val default : t
+  (** The conservative baseline the search starts from: 2 cores, 1
+      channel, no prefetch overlap, no batching. *)
+
+  val render : t -> string
+  val key : t -> string
+  (** Canonical one-line form; equal keys ⇔ equal knobs. *)
+end
+
+type axis = Cores | Channels | In_flight | Batch | Core_cap
+
+val all_axes : axis list
+val axis_name : axis -> string
+val axis_of_name : string -> axis option
+val axis_values : axis -> int list
+(** The discrete grid the search draws from on each axis. *)
+
+type score = {
+  sc_rps : float;  (** mean over phases of total achieved requests/s *)
+  sc_p99_us : float;  (** mean over phases of the worst tenant p99 *)
+  sc_util : float;  (** peak per-SLR utilization of the elaborated SoC *)
+  sc_qdepth_p95 : float;
+      (** p95 tenant queue depth over the evaluation, from the
+          {!Trace.Series} snapshot *)
+  sc_completed : int;  (** completions summed over the phases *)
+}
+
+type outcome =
+  | Infeasible of string  (** rejected by the {!Beethoven.Dse.fit} pre-filter *)
+  | Evaluated of {
+      ev_score : score;
+      ev_wins : int;  (** paired phases won vs. the then-incumbent *)
+      ev_losses : int;
+      ev_promoted : bool;
+    }
+
+type candidate = { ca_id : int; ca_knobs : Knobs.t; ca_outcome : outcome }
+
+type result = {
+  r_seed : int;
+  r_budget : int;
+  r_axes : axis list;
+  r_phase_ps : int;
+  r_ab_rounds : int;
+  r_candidates : candidate list;
+      (** the seed candidate (id 0) then every proposal in search order *)
+  r_best : candidate;  (** the final incumbent *)
+  r_promotions : int;
+  r_prefiltered : int;
+  r_phases_run : int;  (** serving phases actually simulated *)
+  r_cache_hits : int;
+  r_cache_misses : int;
+  r_cache_entries : int;
+  r_violations : string list;
+      (** accounting violations from any evaluation report (must be
+          empty; the CLI exits 1 otherwise) *)
+}
+
+val run :
+  ?seed:int ->
+  ?budget:int ->
+  ?axes:axis list ->
+  ?phase_ps:int ->
+  ?ab_rounds:int ->
+  ?platform:Platform.Device.t ->
+  ?start:Knobs.t ->
+  unit ->
+  result
+(** Run the search: [budget] proposals (default 6) of seeded one-knob
+    mutations restricted to [axes] (default {!all_axes}), each A/B-tested
+    against the incumbent over [ab_rounds] (default 2) interleaved phases
+    of [phase_ps] (default 100 µs) simulated serving. Deterministic:
+    equal arguments ⇒ identical result, byte-identical
+    {!pareto_json}. *)
+
+val pareto : result -> candidate list
+(** The non-dominated evaluated candidates (maximize throughput,
+    minimize p99, minimize utilization), sorted by descending throughput
+    then ascending p99 then id. *)
+
+val pareto_json : result -> string
+(** Byte-deterministic JSON: search metadata, elaboration-cache
+    hit/miss counts, the final incumbent, and the Pareto front. *)
+
+val render : result -> string
+(** Human-readable search log: every candidate with its knobs, score,
+    A/B record and Pareto membership, plus the cache stats line. *)
+
+val digest : result -> string
+(** Content hash of {!pareto_json} (for determinism checks). *)
